@@ -1,0 +1,67 @@
+//! E4 (circuit motif): microbenchmarks of the primitive operations every
+//! circuit is built from — device pool stepping, the binary-input synaptic
+//! kernel (dense and CSC), and full network steps.
+
+use bench::{er_graph, sdp_factors};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snc_devices::{DeviceModel, DevicePool, PoolSpec};
+use snc_neuro::{
+    CscWeights, DenseWeights, DeviceDrivenNetwork, InputWeights, LifParams, Reset,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn device_pool_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_pool_step");
+    for &r in &[4usize, 64, 500] {
+        let mut pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), r), 3);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| black_box(pool.step()[0]))
+        });
+    }
+    group.finish();
+}
+
+fn synaptic_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulate_active");
+    // Dense LIF-GW shape: n × 4.
+    let graph = er_graph(500, 0.25);
+    let factors = sdp_factors(&er_graph(500, 0.1));
+    let dense = DenseWeights::from_matrix_scaled(&factors, 1.0);
+    let active4 = [true, false, true, true];
+    let mut out = vec![0.0; 500];
+    group.bench_function("dense_500x4", |b| {
+        b.iter(|| dense.accumulate_active(black_box(&active4), &mut out))
+    });
+    // Sparse LIF-TR shape: n × n Trevisan matrix.
+    let csc = CscWeights::trevisan(&graph, 1.0);
+    let active_n: Vec<bool> = (0..500).map(|i| i % 2 == 0).collect();
+    group.bench_function(format!("csc_500x500_nnz{}", csc.nnz()), |b| {
+        b.iter(|| csc.accumulate_active(black_box(&active_n), &mut out))
+    });
+    group.finish();
+}
+
+fn network_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_step");
+    for &n in &[50usize, 200, 500] {
+        let factors = sdp_factors(&er_graph(n, 0.25));
+        let weights = DenseWeights::from_matrix_scaled(&factors, 1.0);
+        let pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 4), 5);
+        let mut net = DeviceDrivenNetwork::new(pool, weights, LifParams::default(), Reset::None);
+        group.bench_with_input(BenchmarkId::new("lif_gw", n), &n, |b, _| {
+            b.iter(|| black_box(net.step()[0]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = device_pool_step, synaptic_kernel, network_step
+}
+criterion_main!(benches);

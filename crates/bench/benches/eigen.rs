@@ -1,0 +1,68 @@
+//! Eigensolver comparison on Trevisan matrices: matrix-free Lanczos (the
+//! production path) vs. dense Jacobi (the reference) vs. power iteration,
+//! plus the raw operator-apply cost.
+
+use bench::er_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snc_graph::TrevisanOperator;
+use snc_linalg::eigen::jacobi::symmetric_eigen;
+use snc_linalg::eigen::power::spectral_norm_estimate;
+use snc_linalg::eigen::{extreme_eigenpair, EigenConfig, Which};
+use snc_linalg::LinOp;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn lanczos_vs_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_eigenpair");
+    for &n in &[50usize, 100, 200] {
+        let graph = er_graph(n, 0.25);
+        group.bench_with_input(BenchmarkId::new("lanczos_matfree", n), &graph, |b, g| {
+            let op = TrevisanOperator::new(g);
+            b.iter(|| {
+                extreme_eigenpair(&op, Which::Smallest, &EigenConfig::default())
+                    .expect("converges")
+                    .value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi_dense", n), &graph, |b, g| {
+            let dense = g.trevisan_dense();
+            b.iter(|| symmetric_eigen(&dense).expect("converges").0[0])
+        });
+    }
+    group.finish();
+}
+
+fn operator_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operator_apply");
+    for &n in &[100usize, 500] {
+        let graph = er_graph(n, 0.25);
+        let op = TrevisanOperator::new(&graph);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut y = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                op.apply(black_box(&x), &mut y);
+                y[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn norm_estimation(c: &mut Criterion) {
+    let graph = er_graph(200, 0.25);
+    let op = TrevisanOperator::new(&graph);
+    c.bench_function("spectral_norm_estimate_n200", |b| {
+        b.iter(|| spectral_norm_estimate(&op, 40, 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = lanczos_vs_jacobi, operator_apply, norm_estimation
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E2 (Figure 4): timed slice on empirical graphs — one small stand-in,
+//! one exact combinatorial reconstruction, one mesh stand-in.
+
+use bench::bench_suite_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snc_experiments::run_suite;
+use snc_graph::EmpiricalDataset;
+use std::time::Duration;
+
+fn fig4_suite(c: &mut Criterion) {
+    let cfg = bench_suite_config();
+    let mut group = c.benchmark_group("fig4_suite");
+    for dataset in [
+        EmpiricalDataset::SocDolphins,
+        EmpiricalDataset::Hamming62,
+        EmpiricalDataset::Dwt209,
+    ] {
+        let graph = dataset.load().expect("dataset loads");
+        let traces = run_suite(&graph, &cfg, 11).expect("suite runs");
+        let reference = traces.solver.final_best() as f64;
+        println!(
+            "{}: lif_gw={:.3} lif_tr={:.3} random={:.3} (rel. to solver best {})",
+            dataset.name(),
+            traces.lif_gw.final_best() as f64 / reference,
+            traces.lif_tr.final_best() as f64 / reference,
+            traces.random.final_best() as f64 / reference,
+            traces.solver.final_best()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &graph,
+            |b, g| b.iter(|| run_suite(g, &cfg, 11).expect("suite runs").solver.final_best()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = fig4_suite
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each bench target regenerates (a timed slice of) one paper artifact;
+//! see DESIGN.md's per-experiment index for the mapping. Keep bench bodies
+//! small: workload construction lives here so targets stay readable.
+
+use snc_experiments::config::{ExperimentScale, SuiteConfig};
+use snc_graph::generators::erdos_renyi::gnp;
+use snc_graph::Graph;
+use snc_linalg::{DMatrix, SdpConfig};
+use snc_maxcut::{gw, GwConfig};
+
+/// A small sample budget that keeps bench iterations in the millisecond
+/// range while still exercising the full sampling path.
+pub const BENCH_SAMPLES: u64 = 64;
+
+/// The suite configuration used by all benches (quick scale, 1 thread so
+/// Criterion measures single-core solver cost, not scheduling).
+pub fn bench_suite_config() -> SuiteConfig {
+    let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+    cfg.sample_budget = BENCH_SAMPLES;
+    cfg.threads = 1;
+    cfg
+}
+
+/// A deterministic Figure-3 style workload graph.
+pub fn er_graph(n: usize, p: f64) -> Graph {
+    gnp(n, p, 0xBE7C_u64 ^ n as u64).expect("valid G(n,p)")
+}
+
+/// Solves the GW SDP at the paper's rank for a graph (bench setup cost —
+/// excluded from sampler timings by doing it outside the timed closure).
+pub fn sdp_factors(graph: &Graph) -> DMatrix {
+    gw::solve_gw(graph, &GwConfig { sdp: SdpConfig::default() })
+        .expect("SDP converges")
+        .factors
+}

@@ -1,0 +1,50 @@
+//! Stochastic device models for probabilistic neural computing.
+//!
+//! The paper ("Stochastic Neuromorphic Circuits for Solving MAXCUT",
+//! Theilman et al., IPPS 2023) drives its neuromorphic circuits from a *pool
+//! of random devices*: physical microelectronic elements (magnetic tunnel
+//! junctions, tunnel diodes) that switch randomly between two states. In the
+//! paper's own evaluation the devices are *simulated* as fair coins; this
+//! crate is that simulation substrate, extended with the imperfect-device
+//! models the paper's Discussion section speculates about (unfair coins,
+//! temporally correlated switching, cross-device correlations, parameter
+//! drift) so that robustness claims become runnable experiments.
+//!
+//! # Contents
+//!
+//! * [`rng`] — deterministic, splittable pseudo-random cores
+//!   ([`SplitMix64`], [`Xoshiro256pp`]) used everywhere in the workspace.
+//! * [`device`] — the [`DeviceModel`] type describing a single stochastic
+//!   device and its update semantics.
+//! * [`pool`] — [`DevicePool`], a collection of devices advanced in
+//!   lock-step, with optional common-cause cross-correlation, producing the
+//!   binary state vector consumed by the neuromorphic circuits.
+//! * [`diagnostics`] — bit-stream quality statistics (bias, lag
+//!   autocorrelation, monobit and runs tests, pairwise correlations), the
+//!   "benchmark for device physicists" role the paper assigns to these
+//!   circuits.
+//!
+//! # Quick example
+//!
+//! ```
+//! use snc_devices::{DevicePool, DeviceModel, PoolSpec};
+//!
+//! // Four ideal fair-coin devices, as in the paper's evaluation.
+//! let mut pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 4), 42);
+//! let states: &[bool] = pool.step();
+//! assert_eq!(states.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod device;
+pub mod diagnostics;
+pub mod error;
+pub mod pool;
+pub mod rng;
+
+pub use device::DeviceModel;
+pub use error::DeviceError;
+pub use pool::{CommonCause, DevicePool, PoolSpec};
+pub use rng::{Rng64, SplitMix64, Xoshiro256pp};

@@ -1,0 +1,391 @@
+//! Pools of stochastic devices advanced in lock-step.
+//!
+//! The circuits in the paper are driven by a *pool* of `r` random devices
+//! whose joint state at each time step is read out as a binary vector
+//! (Fig. 1 and Fig. 2, the left-hand "random device pool"). The LIF-GW
+//! circuit needs `r = rank(SDP)` devices (4 in the paper); the LIF-Trevisan
+//! circuit needs one device per graph vertex.
+//!
+//! Pools optionally model *cross-device* ("external") correlations through a
+//! common-cause latent bit: with probability `c` a device copies the shared
+//! latent bit for that time step, otherwise it samples its own model. For
+//! fair coins this yields a pairwise output correlation of `c²` between any
+//! two devices — a one-parameter knob for the robustness experiments.
+
+use crate::device::{DeviceModel, DeviceState};
+use crate::error::{check_probability, DeviceError};
+use crate::rng::{Rng64, SplitMix64, Xoshiro256pp};
+
+/// Common-cause cross-correlation configuration for a pool.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommonCause {
+    /// Probability that a device copies the shared latent bit on a step.
+    pub coupling: f64,
+}
+
+impl CommonCause {
+    /// Creates a common-cause coupling with the given copy probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `coupling ∈ [0, 1]`.
+    pub fn new(coupling: f64) -> Result<Self, DeviceError> {
+        check_probability("coupling", coupling)?;
+        Ok(Self { coupling })
+    }
+
+    /// Expected pairwise correlation between two fair-coin devices.
+    pub fn pairwise_correlation(&self) -> f64 {
+        self.coupling * self.coupling
+    }
+}
+
+/// A specification for constructing a [`DevicePool`].
+#[derive(Clone, Debug)]
+pub struct PoolSpec {
+    models: Vec<DeviceModel>,
+    common_cause: Option<CommonCause>,
+}
+
+impl PoolSpec {
+    /// `count` identical devices of the given model.
+    pub fn uniform(model: DeviceModel, count: usize) -> Self {
+        Self {
+            models: vec![model; count],
+            common_cause: None,
+        }
+    }
+
+    /// A heterogeneous pool from an explicit list of models.
+    pub fn heterogeneous(models: Vec<DeviceModel>) -> Self {
+        Self {
+            models,
+            common_cause: None,
+        }
+    }
+
+    /// A pool of `count` biased coins whose biases are drawn once from a
+    /// clamped Gaussian `N(nominal_p, sigma²)` — *device mismatch*, the
+    /// fabrication-variability failure mode: every device is stationary
+    /// but no two are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `nominal_p ∈ [0, 1]` and `sigma ≥ 0`.
+    pub fn mismatched(
+        count: usize,
+        nominal_p: f64,
+        sigma: f64,
+        seed: u64,
+    ) -> Result<Self, DeviceError> {
+        check_probability("nominal_p", nominal_p)?;
+        if !(sigma.is_finite() && sigma >= 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "sigma",
+                constraint: "must be finite and non-negative",
+            });
+        }
+        let mut rng = Xoshiro256pp::new(seed);
+        let models = (0..count)
+            .map(|_| {
+                // Sum of 4 uniforms ≈ Gaussian (matches the drift model's
+                // cheap normal approximation).
+                let z = ((rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64())
+                    - 2.0)
+                    * (3.0f64).sqrt();
+                let p = (nominal_p + sigma * z).clamp(0.01, 0.99);
+                DeviceModel::Biased { p }
+            })
+            .collect();
+        Ok(Self {
+            models,
+            common_cause: None,
+        })
+    }
+
+    /// Adds common-cause cross-correlation to the pool.
+    pub fn with_common_cause(mut self, cc: CommonCause) -> Self {
+        self.common_cause = Some(cc);
+        self
+    }
+
+    /// Number of devices in the specification.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the specification contains no devices.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EmptyPool`] for an empty model list.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        if self.models.is_empty() {
+            return Err(DeviceError::EmptyPool);
+        }
+        Ok(())
+    }
+}
+
+/// A pool of stochastic devices advanced in lock-step.
+///
+/// Each device owns an independent RNG stream derived from the pool seed, so
+/// the pool's output is invariant to how devices might later be partitioned
+/// across threads, and adding a device never perturbs the streams of the
+/// others.
+#[derive(Clone, Debug)]
+pub struct DevicePool {
+    devices: Vec<DeviceState>,
+    rngs: Vec<Xoshiro256pp>,
+    latent_rng: Xoshiro256pp,
+    common_cause: Option<CommonCause>,
+    states: Vec<bool>,
+    steps: u64,
+}
+
+impl DevicePool {
+    /// Builds a pool from a spec and a master seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is empty; use [`DevicePool::try_new`] for a
+    /// fallible constructor.
+    pub fn new(spec: PoolSpec, seed: u64) -> Self {
+        Self::try_new(spec, seed).expect("invalid pool specification")
+    }
+
+    /// Fallible pool construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EmptyPool`] for an empty spec.
+    pub fn try_new(spec: PoolSpec, seed: u64) -> Result<Self, DeviceError> {
+        spec.validate()?;
+        let n = spec.models.len();
+        let mut rngs = Vec::with_capacity(n);
+        let mut devices = Vec::with_capacity(n);
+        for (i, model) in spec.models.into_iter().enumerate() {
+            let mut rng = Xoshiro256pp::new(SplitMix64::derive(seed, i as u64));
+            devices.push(DeviceState::new(model, &mut rng));
+            rngs.push(rng);
+        }
+        let latent_rng = Xoshiro256pp::new(SplitMix64::derive(seed, u64::MAX));
+        Ok(Self {
+            devices,
+            rngs,
+            latent_rng,
+            common_cause: spec.common_cause,
+            states: vec![false; n],
+            steps: 0,
+        })
+    }
+
+    /// Number of devices in the pool.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the pool is empty (never true for a constructed pool).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The most recent state vector (all `false` before the first step).
+    pub fn states(&self) -> &[bool] {
+        &self.states
+    }
+
+    /// The stationary `P(1)` of each device (common-cause coupling does not
+    /// change marginals when the latent bit is fair).
+    pub fn stationary_ps(&self) -> Vec<f64> {
+        let c = self.common_cause.map_or(0.0, |cc| cc.coupling);
+        self.devices
+            .iter()
+            .map(|d| {
+                let own = d.model.stationary_p();
+                // With probability c the output is the fair latent bit.
+                (1.0 - c) * own + c * 0.5
+            })
+            .collect()
+    }
+
+    /// Advances every device one time step and returns the new state vector.
+    #[inline]
+    pub fn step(&mut self) -> &[bool] {
+        let latent = match self.common_cause {
+            Some(_) => self.latent_rng.next_bool(0.5),
+            None => false,
+        };
+        let coupling = self.common_cause.map_or(0.0, |cc| cc.coupling);
+        for ((dev, rng), out) in self
+            .devices
+            .iter_mut()
+            .zip(self.rngs.iter_mut())
+            .zip(self.states.iter_mut())
+        {
+            let own = dev.step(rng);
+            *out = if coupling > 0.0 && rng.next_bool(coupling) {
+                latent
+            } else {
+                own
+            };
+        }
+        self.steps += 1;
+        &self.states
+    }
+
+    /// Advances the pool `k` steps, returning the final state vector.
+    pub fn step_many(&mut self, k: u64) -> &[bool] {
+        for _ in 0..k {
+            self.step();
+        }
+        &self.states
+    }
+
+    /// Collects `t` consecutive state vectors into a row-major matrix
+    /// (`t` rows of `len()` booleans), useful for diagnostics.
+    pub fn record(&mut self, t: usize) -> Vec<Vec<bool>> {
+        (0..t).map(|_| self.step().to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics;
+
+    #[test]
+    fn pool_has_requested_size() {
+        let pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 10), 1);
+        assert_eq!(pool.len(), 10);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn empty_pool_rejected() {
+        assert_eq!(
+            DevicePool::try_new(PoolSpec::heterogeneous(vec![]), 1).unwrap_err(),
+            DeviceError::EmptyPool
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 5), 42);
+        let mut b = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 5), 42);
+        for _ in 0..100 {
+            assert_eq!(a.step(), b.step());
+        }
+        assert_eq!(a.steps(), 100);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 8), 1);
+        let mut b = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 8), 2);
+        let ra = a.record(64);
+        let rb = b.record(64);
+        assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn adding_devices_preserves_existing_streams() {
+        // Device i's stream is derived from (seed, i), so a 5-device pool
+        // and a 6-device pool agree on the first 5 devices.
+        let mut a = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 5), 7);
+        let mut b = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 6), 7);
+        for _ in 0..50 {
+            let sa = a.step().to_vec();
+            let sb = b.step().to_vec();
+            assert_eq!(sa[..], sb[..5]);
+        }
+    }
+
+    #[test]
+    fn independent_fair_devices_are_uncorrelated() {
+        let mut pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 4), 3);
+        let rec = pool.record(50_000);
+        let corr = diagnostics::pairwise_correlations(&rec);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(corr[i][j].abs() < 0.03, "corr[{i}][{j}]={}", corr[i][j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_cause_induces_pairwise_correlation() {
+        let cc = CommonCause::new(0.6).unwrap();
+        let spec = PoolSpec::uniform(DeviceModel::fair(), 4).with_common_cause(cc);
+        let mut pool = DevicePool::new(spec, 5);
+        let rec = pool.record(80_000);
+        let corr = diagnostics::pairwise_correlations(&rec);
+        let expected = cc.pairwise_correlation(); // 0.36
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(
+                        (corr[i][j] - expected).abs() < 0.04,
+                        "corr[{i}][{j}]={} expected {expected}",
+                        corr[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_cause_rejects_bad_coupling() {
+        assert!(CommonCause::new(1.5).is_err());
+        assert!(CommonCause::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn mismatched_pool_spreads_biases() {
+        let spec = PoolSpec::mismatched(64, 0.5, 0.1, 7).unwrap();
+        assert_eq!(spec.len(), 64);
+        let mut pool = DevicePool::new(spec, 1);
+        let ps = pool.stationary_ps();
+        // Distinct per-device biases around the nominal.
+        let mean: f64 = ps.iter().sum::<f64>() / ps.len() as f64;
+        assert!((mean - 0.5).abs() < 0.06, "mean={mean}");
+        let spread = ps.iter().fold(0.0f64, |m, &p| m.max((p - 0.5).abs()));
+        assert!(spread > 0.05, "spread={spread}");
+        assert!(ps.iter().all(|&p| (0.01..=0.99).contains(&p)));
+        // Still functions as a pool.
+        let _ = pool.step();
+        // Zero sigma degenerates to identical devices.
+        let exact = PoolSpec::mismatched(8, 0.3, 0.0, 1).unwrap();
+        let pool2 = DevicePool::new(exact, 2);
+        assert!(pool2.stationary_ps().iter().all(|&p| (p - 0.3).abs() < 1e-12));
+        // Validation.
+        assert!(PoolSpec::mismatched(4, 1.5, 0.1, 1).is_err());
+        assert!(PoolSpec::mismatched(4, 0.5, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_pool_mixes_models() {
+        let spec = PoolSpec::heterogeneous(vec![
+            DeviceModel::fair(),
+            DeviceModel::biased(0.9).unwrap(),
+        ]);
+        let mut pool = DevicePool::new(spec, 11);
+        let rec = pool.record(50_000);
+        let f0 = rec.iter().filter(|r| r[0]).count() as f64 / rec.len() as f64;
+        let f1 = rec.iter().filter(|r| r[1]).count() as f64 / rec.len() as f64;
+        assert!((f0 - 0.5).abs() < 0.02);
+        assert!((f1 - 0.9).abs() < 0.02);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the device substrate.
+
+use proptest::prelude::*;
+use snc_devices::diagnostics::{autocorrelation, bias, monobit_z, runs_z};
+use snc_devices::{DeviceModel, DevicePool, PoolSpec, Rng64, SplitMix64, Xoshiro256pp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// next_f64 always lands in [0, 1); next_below respects its bound.
+    #[test]
+    fn rng_ranges(seed in any::<u64>(), n in 1u64..10_000) {
+        let mut g = Xoshiro256pp::new(seed);
+        for _ in 0..64 {
+            let x = g.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(g.next_below(n) < n);
+        }
+    }
+
+    /// SplitMix64-derived child seeds never collide for small indices.
+    #[test]
+    fn derived_seeds_distinct(master in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..256u64 {
+            prop_assert!(seen.insert(SplitMix64::derive(master, k)),
+                "collision at k={k}");
+        }
+    }
+
+    /// Any valid biased coin's empirical frequency tracks p.
+    #[test]
+    fn biased_coin_frequency(p in 0.05f64..0.95, seed in any::<u64>()) {
+        let model = DeviceModel::biased(p).expect("valid p");
+        let mut pool = DevicePool::new(PoolSpec::uniform(model, 1), seed);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| pool.step()[0]).count() as f64;
+        let freq = ones / n as f64;
+        let sd = (p * (1.0 - p) / n as f64).sqrt();
+        prop_assert!((freq - p).abs() < 7.0 * sd, "p={p} freq={freq}");
+    }
+
+    /// Telegraph devices: empirical lag-1 autocorrelation tracks 1−p01−p10.
+    #[test]
+    fn telegraph_autocorrelation(p01 in 0.05f64..0.5, p10 in 0.05f64..0.5, seed in any::<u64>()) {
+        let model = DeviceModel::telegraph(p01, p10).expect("valid");
+        let expected = model.lag1_autocorrelation();
+        let mut pool = DevicePool::new(PoolSpec::uniform(model, 1), seed);
+        let bits: Vec<bool> = (0..40_000).map(|_| pool.step()[0]).collect();
+        let emp = autocorrelation(&bits, 1);
+        prop_assert!((emp - expected).abs() < 0.06,
+            "p01={p01} p10={p10}: emp={emp} expected={expected}");
+    }
+
+    /// Pool determinism holds for arbitrary sizes and seeds.
+    #[test]
+    fn pool_determinism(r in 1usize..16, seed in any::<u64>()) {
+        let mut a = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), r), seed);
+        let mut b = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), r), seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.step(), b.step());
+        }
+    }
+
+    /// Diagnostics never panic and stay finite on arbitrary bit vectors.
+    #[test]
+    fn diagnostics_total(bits in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let b = bias(&bits);
+        prop_assert!((0.0..=1.0).contains(&b));
+        for v in [autocorrelation(&bits, 1), monobit_z(&bits), runs_z(&bits)] {
+            prop_assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates Figure 3 (the Erdős–Rényi sweep).
+//!
+//! ```text
+//! cargo run --release -p snc-experiments --bin fig3 -- [--quick|--paper] \
+//!     [--samples N] [--threads N] [--seed N] [--out DIR]
+//! ```
+//!
+//! Writes `fig3_curves.csv` (long format, one row per solver × panel ×
+//! checkpoint) to the output directory and prints a per-panel summary of
+//! the final relative values.
+
+use snc_experiments::config::CliArgs;
+use snc_experiments::fig3::run_fig3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match CliArgs::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let scale = cli.scale;
+    eprintln!(
+        "fig3: n in {:?}, p in {:?}, {} graphs/cell, {} samples/circuit, {} threads",
+        scale.fig3_ns(),
+        scale.fig3_ps(),
+        scale.graphs_per_cell(),
+        cli.suite.sample_budget,
+        cli.suite.threads
+    );
+    let result = run_fig3(
+        &scale.fig3_ns(),
+        &scale.fig3_ps(),
+        scale.graphs_per_cell(),
+        &cli.suite,
+        true,
+    );
+    let curves = result.to_table();
+    let path = cli.out_dir.join("fig3_curves.csv");
+    if let Err(e) = curves.write_csv(&path) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("\nFigure 3 — final best cut relative to software solver");
+    println!("{}", result.summary_table().to_markdown());
+    println!("curves written to {}", path.display());
+}

@@ -1,0 +1,58 @@
+//! Regenerates Figure 4 (per-graph curves on the 16 empirical graphs).
+//!
+//! ```text
+//! cargo run --release -p snc-experiments --bin fig4 -- [--quick|--paper] \
+//!     [--samples N] [--threads N] [--seed N] [--out DIR]
+//! ```
+
+use snc_experiments::config::CliArgs;
+use snc_experiments::fig4::run_fig4;
+use snc_experiments::report::{fmt_f, Table};
+use snc_graph::EmpiricalDataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match CliArgs::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    // Quick scale: drop the two largest graphs (p-hat700-1, DD687).
+    let datasets: Vec<EmpiricalDataset> = match cli.scale {
+        snc_experiments::ExperimentScale::Quick => EmpiricalDataset::all()
+            .into_iter()
+            .filter(|d| d.size().0 <= 500)
+            .collect(),
+        _ => EmpiricalDataset::all().to_vec(),
+    };
+    eprintln!(
+        "fig4: {} graphs, {} samples/circuit, {} threads",
+        datasets.len(),
+        cli.suite.sample_budget,
+        cli.suite.threads
+    );
+    let result = run_fig4(&datasets, &cli.suite, true);
+    let path = cli.out_dir.join("fig4_curves.csv");
+    if let Err(e) = result.to_table().write_csv(&path) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    // Console summary: final relative value per solver per graph.
+    let mut summary = Table::new(&["graph", "lif_gw", "lif_tr", "solver", "random"]);
+    for panel in &result.panels {
+        let reference = panel.traces.solver.final_best() as f64;
+        let rel = |b: u64| fmt_f(b as f64 / reference.max(1.0));
+        summary.push_row(vec![
+            panel.dataset.name().to_string(),
+            rel(panel.traces.lif_gw.final_best()),
+            rel(panel.traces.lif_tr.final_best()),
+            rel(panel.traces.solver.final_best()),
+            rel(panel.traces.random.final_best()),
+        ]);
+    }
+    println!("\nFigure 4 — final best cut relative to software solver");
+    println!("{}", summary.to_markdown());
+    println!("curves written to {}", path.display());
+}

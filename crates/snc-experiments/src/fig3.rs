@@ -1,0 +1,199 @@
+//! Figure 3: the Erdős–Rényi sweep.
+//!
+//! "Maximum cut weight relative to software Goemans-Williamson solver …
+//! as a function of the number of samples for Erdős–Rényi random graphs.
+//! Rows correspond to fixed numbers of vertices n and columns correspond to
+//! fixed connection probabilities p. … Error bars correspond to standard
+//! error of the mean over 10 independently generated graphs from each graph
+//! class."
+
+use crate::config::SuiteConfig;
+use crate::report::{fmt_f, Table};
+use crate::runner::JobRunner;
+use crate::suite::run_suite;
+use snc_devices::SplitMix64;
+use snc_graph::generators::erdos_renyi::gnp;
+use snc_maxcut::stats::{aggregate_curves, AggregateCurve};
+
+/// One (n, p) panel of Figure 3.
+#[derive(Clone, Debug)]
+pub struct Panel {
+    /// Number of vertices.
+    pub n: usize,
+    /// Connection probability.
+    pub p: f64,
+    /// Aggregated relative curves per solver, keyed by display name, in
+    /// legend order (lif_gw, lif_tr, solver, random).
+    pub curves: Vec<(&'static str, AggregateCurve)>,
+}
+
+/// The complete Figure-3 result grid.
+#[derive(Clone, Debug)]
+pub struct Fig3Result {
+    /// All panels in row-major (n-major) order.
+    pub panels: Vec<Panel>,
+}
+
+/// Runs the Figure-3 experiment.
+///
+/// # Panics
+///
+/// Panics if any graph-level job fails (SDP non-convergence would indicate
+/// a solver bug on these instances).
+pub fn run_fig3(
+    ns: &[usize],
+    ps: &[f64],
+    graphs_per_cell: usize,
+    cfg: &SuiteConfig,
+    verbose: bool,
+) -> Fig3Result {
+    let mut jobs: Vec<(usize, f64, usize)> = Vec::new();
+    for &n in ns {
+        for &p in ps {
+            for g in 0..graphs_per_cell {
+                jobs.push((n, p, g));
+            }
+        }
+    }
+    let mut runner = JobRunner::new(cfg.threads);
+    if verbose {
+        runner = runner.verbose();
+    }
+    let results = runner.run(jobs.len(), "fig3", |idx| {
+        let (n, p, rep) = jobs[idx];
+        // Graph seed: deterministic in (n, p-mills, replicate).
+        let graph_seed = SplitMix64::derive(
+            cfg.seed,
+            (n as u64) << 32 | ((p * 1000.0) as u64) << 8 | rep as u64,
+        );
+        let graph = gnp(n, p, graph_seed).expect("valid G(n,p) parameters");
+        let traces = run_suite(&graph, cfg, graph_seed ^ 0xF163).expect("suite solver failure");
+        (n, p, traces)
+    });
+
+    // Group by panel and aggregate relative-to-solver curves.
+    let mut panels = Vec::new();
+    for &n in ns {
+        for &p in ps {
+            let cell: Vec<_> = results
+                .iter()
+                .filter(|(rn, rp, _)| *rn == n && *rp == p)
+                .map(|(_, _, t)| t)
+                .collect();
+            assert!(!cell.is_empty());
+            let checkpoints = cell[0].solver.checkpoints.clone();
+            let mut curves = Vec::new();
+            for key in ["lif_gw", "lif_tr", "solver", "random"] {
+                let per_graph: Vec<Vec<f64>> = cell
+                    .iter()
+                    .map(|t| {
+                        let reference = t.solver.final_best() as f64;
+                        let trace = t
+                            .named()
+                            .iter()
+                            .find(|(name, _)| *name == key)
+                            .expect("known key")
+                            .1
+                            .clone();
+                        trace.relative_to(reference)
+                    })
+                    .collect();
+                curves.push((key, aggregate_curves(&checkpoints, &per_graph)));
+            }
+            panels.push(Panel { n, p, curves });
+        }
+    }
+    Fig3Result { panels }
+}
+
+impl Fig3Result {
+    /// Serializes every panel into one long-format table:
+    /// `n, p, solver, samples, mean_relative, sem`.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(&["n", "p", "solver", "samples", "mean_relative", "sem"]);
+        for panel in &self.panels {
+            for (name, curve) in &panel.curves {
+                for k in 0..curve.checkpoints.len() {
+                    table.push_row(vec![
+                        panel.n.to_string(),
+                        format!("{}", panel.p),
+                        name.to_string(),
+                        curve.checkpoints[k].to_string(),
+                        fmt_f(curve.mean[k]),
+                        fmt_f(curve.sem[k]),
+                    ]);
+                }
+            }
+        }
+        table
+    }
+
+    /// A compact per-panel summary at the final checkpoint.
+    pub fn summary_table(&self) -> Table {
+        let mut table = Table::new(&["panel", "lif_gw", "lif_tr", "solver", "random"]);
+        for panel in &self.panels {
+            let last = |key: &str| {
+                let c = &panel
+                    .curves
+                    .iter()
+                    .find(|(n, _)| *n == key)
+                    .expect("known key")
+                    .1;
+                fmt_f(*c.mean.last().unwrap_or(&0.0))
+            };
+            table.push_row(vec![
+                format!("G({}, {})", panel.n, panel.p),
+                last("lif_gw"),
+                last("lif_tr"),
+                last("solver"),
+                last("random"),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExperimentScale, SuiteConfig};
+
+    #[test]
+    fn small_fig3_run_has_paper_shape() {
+        let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+        cfg.sample_budget = 128;
+        cfg.threads = 1;
+        let result = run_fig3(&[20], &[0.3], 3, &cfg, false);
+        assert_eq!(result.panels.len(), 1);
+        let panel = &result.panels[0];
+        let get = |key: &str| -> &AggregateCurve {
+            &panel.curves.iter().find(|(n, _)| *n == key).unwrap().1
+        };
+        // Solver relative to itself ends at 1.0.
+        let solver = get("solver");
+        assert!((solver.mean.last().unwrap() - 1.0).abs() < 1e-12);
+        // LIF-GW tracks the solver closely; random trails.
+        let lif_gw = get("lif_gw");
+        assert!(*lif_gw.mean.last().unwrap() > 0.9);
+        let random = get("random");
+        assert!(*random.mean.last().unwrap() <= 1.0 + 1e-12);
+        // Curves are monotone nondecreasing (best-so-far).
+        for (_, c) in &panel.curves {
+            assert!(c.mean.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        }
+    }
+
+    #[test]
+    fn table_serialization_dimensions() {
+        let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+        cfg.sample_budget = 32;
+        cfg.threads = 2;
+        let result = run_fig3(&[12], &[0.5], 2, &cfg, false);
+        let t = result.to_table();
+        // 4 solvers × checkpoints rows.
+        let cps = result.panels[0].curves[0].1.checkpoints.len();
+        assert_eq!(t.rows.len(), 4 * cps);
+        let s = result.summary_table();
+        assert_eq!(s.rows.len(), 1);
+    }
+}

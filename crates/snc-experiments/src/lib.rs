@@ -1,0 +1,35 @@
+//! Experiment harness regenerating the paper's evaluation (§V).
+//!
+//! One module per paper artifact:
+//!
+//! * [`fig3`] — Erdős–Rényi sweep (Figure 3): best cut relative to the
+//!   software solver vs. number of samples, mean ± SEM over graphs, for
+//!   every (n, p) panel.
+//! * [`fig4`] — the same curves on the 16 empirical graphs (Figure 4).
+//! * [`table1`] — maximum cut values per circuit per empirical graph
+//!   (Table I), printed next to the paper's reference values.
+//! * [`robustness`] — the device-imperfection study the Discussion (§VI)
+//!   sketches: biased, cross-correlated, and drifting devices.
+//!
+//! Shared machinery: [`suite`] (runs all four solvers on one graph),
+//! [`runner`] (a progress-reporting parallel job queue), [`report`]
+//! (CSV/Markdown emission), [`config`] (paper-exact and quick presets).
+//!
+//! Binaries: `fig3`, `fig4`, `table1`, `robustness` — each accepts
+//! `--quick`, `--paper`, `--samples N`, `--threads N`, `--out DIR`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod fig3;
+pub mod fig4;
+pub mod report;
+pub mod robustness;
+pub mod runner;
+pub mod suite;
+pub mod table1;
+
+pub use config::{ExperimentScale, SuiteConfig};
+pub use runner::JobRunner;
+pub use suite::{run_suite, SuiteTraces};

@@ -1,0 +1,142 @@
+//! Runs the paper's four solvers on one graph: the atomic unit every
+//! figure/table experiment is built from.
+//!
+//! For a graph `G` and a sample budget `B`, produce best-so-far traces at
+//! log2 checkpoints for:
+//!
+//! * the software GW solver (SDP + Gaussian rounding) — the green curve and
+//!   the normalization reference,
+//! * the LIF-GW circuit seeded from the same SDP factors — blue,
+//! * the LIF-Trevisan circuit (no offline work) — orange,
+//! * uniform random cuts — red.
+
+use crate::config::SuiteConfig;
+use snc_devices::SplitMix64;
+use snc_graph::Graph;
+use snc_linalg::{LinalgError, SdpConfig};
+use snc_maxcut::{
+    log2_checkpoints, sample_best_trace, BestTrace, GwConfig, GwSampler, LifGwCircuit,
+    LifGwConfig, LifTrevisanCircuit, LifTrevisanConfig, RandomCutSampler,
+};
+
+/// Best-so-far traces of all four solvers on one graph.
+#[derive(Clone, Debug)]
+pub struct SuiteTraces {
+    /// Software GW (SDP + rounding).
+    pub solver: BestTrace,
+    /// LIF-GW circuit.
+    pub lif_gw: BestTrace,
+    /// LIF-Trevisan circuit.
+    pub lif_tr: BestTrace,
+    /// Uniform random baseline.
+    pub random: BestTrace,
+    /// The SDP upper bound (for reference).
+    pub sdp_bound: f64,
+}
+
+impl SuiteTraces {
+    /// The four traces with their display names, in the paper's legend
+    /// order.
+    pub fn named(&self) -> [(&'static str, &BestTrace); 4] {
+        [
+            ("lif_gw", &self.lif_gw),
+            ("lif_tr", &self.lif_tr),
+            ("solver", &self.solver),
+            ("random", &self.random),
+        ]
+    }
+}
+
+/// Runs all four solvers on a graph with a deterministic seed ladder.
+///
+/// # Errors
+///
+/// Propagates SDP solver failures.
+pub fn run_suite(graph: &Graph, cfg: &SuiteConfig, graph_seed: u64) -> Result<SuiteTraces, LinalgError> {
+    let checkpoints = log2_checkpoints(cfg.sample_budget);
+    let sdp_cfg = SdpConfig {
+        rank: cfg.sdp_rank,
+        seed: SplitMix64::derive(graph_seed, 1),
+        ..SdpConfig::default()
+    };
+    let gw = snc_maxcut::gw::solve_gw(graph, &GwConfig { sdp: sdp_cfg })?;
+
+    // Software GW rounding.
+    let mut software = GwSampler::new(gw.factors.clone(), SplitMix64::derive(graph_seed, 2));
+    let solver = sample_best_trace(&mut software, graph, &checkpoints);
+
+    // LIF-GW circuit from the same factors.
+    let lif_gw_cfg = LifGwConfig {
+        lif: cfg.lif,
+        ..LifGwConfig::default()
+    };
+    let mut lif_gw_circuit =
+        LifGwCircuit::new(&gw.factors, SplitMix64::derive(graph_seed, 3), &lif_gw_cfg);
+    let lif_gw = sample_best_trace(&mut lif_gw_circuit, graph, &checkpoints);
+
+    // LIF-Trevisan circuit (entirely online).
+    let lif_tr_cfg = LifTrevisanConfig {
+        network: snc_neuro::TwoStageConfig {
+            lif: cfg.lif,
+            ..snc_neuro::TwoStageConfig::default()
+        },
+        ..LifTrevisanConfig::default()
+    };
+    let mut lif_tr_circuit =
+        LifTrevisanCircuit::new(graph, SplitMix64::derive(graph_seed, 4), &lif_tr_cfg);
+    let lif_tr = sample_best_trace(&mut lif_tr_circuit, graph, &checkpoints);
+
+    // Random baseline.
+    let mut random_sampler =
+        RandomCutSampler::new(graph.n(), SplitMix64::derive(graph_seed, 5));
+    let random = sample_best_trace(&mut random_sampler, graph, &checkpoints);
+
+    Ok(SuiteTraces {
+        solver,
+        lif_gw,
+        lif_tr,
+        random,
+        sdp_bound: gw.sdp_bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExperimentScale, SuiteConfig};
+    use snc_graph::generators::erdos_renyi::gnp;
+
+    #[test]
+    fn suite_produces_consistent_traces() {
+        let g = gnp(30, 0.3, 7).unwrap();
+        let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+        cfg.sample_budget = 256;
+        let traces = run_suite(&g, &cfg, 42).unwrap();
+        let m = g.m() as u64;
+        for (name, t) in traces.named() {
+            assert!(!t.best.is_empty(), "{name} trace empty");
+            assert!(t.final_best() <= m, "{name} exceeds m");
+            assert!(t.best.windows(2).all(|w| w[0] <= w[1]), "{name} not monotone");
+        }
+        // The paper's qualitative ordering at the end of sampling:
+        // solver ≈ lif_gw ≥ random; everything ≤ SDP bound.
+        assert!(traces.sdp_bound >= traces.solver.final_best() as f64 - 1e-6);
+        let s = traces.solver.final_best() as f64;
+        let c = traces.lif_gw.final_best() as f64;
+        assert!((c - s).abs() / s.max(1.0) < 0.15, "solver {s} vs circuit {c}");
+        assert!(traces.solver.final_best() >= traces.random.final_best());
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let g = gnp(20, 0.4, 3).unwrap();
+        let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+        cfg.sample_budget = 64;
+        let a = run_suite(&g, &cfg, 9).unwrap();
+        let b = run_suite(&g, &cfg, 9).unwrap();
+        assert_eq!(a.solver, b.solver);
+        assert_eq!(a.lif_gw, b.lif_gw);
+        assert_eq!(a.lif_tr, b.lif_tr);
+        assert_eq!(a.random, b.random);
+    }
+}

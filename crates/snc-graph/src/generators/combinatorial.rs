@@ -1,0 +1,176 @@
+//! Exact reconstructions of combinatorial DIMACS instances.
+//!
+//! Two of the Table-I graphs are not empirical measurements but pure
+//! combinatorial objects, so they can be regenerated exactly:
+//!
+//! * `hamming6-2` — vertices are the 64 six-bit words; two words are
+//!   adjacent iff their Hamming distance is **at least 2**. That yields
+//!   `m = 64·57/2 = 1824` (each word excludes itself and its 6
+//!   distance-1 neighbors).
+//! * `johnson16-2-4` — vertices are the 120 two-element subsets of a
+//!   16-element set; two subsets are adjacent iff their "Johnson distance"
+//!   (half the symmetric difference) is 2, i.e. iff they are **disjoint**.
+//!   This is the Kneser graph `K(16, 2)` with `m = 120·91/2 = 5460`.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// The DIMACS `hamming<bits>-<d>` graph: vertices are all `bits`-bit words,
+/// edges join words at Hamming distance `≥ min_dist`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `bits` is 0 or exceeds 20
+/// (over a million vertices — certainly a mistake) or `min_dist` is 0.
+pub fn hamming_graph(bits: u32, min_dist: u32) -> Result<Graph, GraphError> {
+    if bits == 0 || bits > 20 {
+        return Err(GraphError::InvalidParameter {
+            name: "bits",
+            constraint: format!("must be in 1..=20, got {bits}"),
+        });
+    }
+    if min_dist == 0 {
+        return Err(GraphError::InvalidParameter {
+            name: "min_dist",
+            constraint: "must be positive".to_string(),
+        });
+    }
+    let n = 1usize << bits;
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in u + 1..n as u32 {
+            if (u ^ v).count_ones() >= min_dist {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The Kneser graph `K(n, k)`: vertices are the `k`-subsets of an
+/// `n`-element ground set (in lexicographic order of their bitmasks);
+/// edges join disjoint subsets.
+///
+/// `kneser_graph(16, 2)` is exactly the DIMACS instance `johnson16-2-4`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `0 < k ≤ n ≤ 32` and the
+/// number of subsets stays below 10⁵.
+pub fn kneser_graph(n: u32, k: u32) -> Result<Graph, GraphError> {
+    if k == 0 || k > n || n > 32 {
+        return Err(GraphError::InvalidParameter {
+            name: "n/k",
+            constraint: format!("need 0 < k <= n <= 32, got n={n} k={k}"),
+        });
+    }
+    let masks = k_subsets(n, k);
+    if masks.len() > 100_000 {
+        return Err(GraphError::InvalidParameter {
+            name: "n/k",
+            constraint: format!("{} subsets is too many", masks.len()),
+        });
+    }
+    let mut edges = Vec::new();
+    for i in 0..masks.len() {
+        for j in i + 1..masks.len() {
+            if masks[i] & masks[j] == 0 {
+                edges.push((i as u32, j as u32));
+            }
+        }
+    }
+    Graph::from_edges(masks.len(), &edges)
+}
+
+/// All `k`-subsets of `{0, …, n−1}` as bitmasks, in increasing mask order.
+fn k_subsets(n: u32, k: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    // Gosper's hack: iterate masks with exactly k bits set.
+    if k == 0 {
+        return vec![0];
+    }
+    let mut mask: u64 = (1u64 << k) - 1;
+    let limit: u64 = 1u64 << n;
+    while mask < limit {
+        out.push(mask as u32);
+        let c = mask & mask.wrapping_neg();
+        let r = mask + c;
+        mask = (((r ^ mask) >> 2) / c) | r;
+        if c == 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming6_2_matches_dimacs() {
+        let g = hamming_graph(6, 2).unwrap();
+        assert_eq!(g.n(), 64);
+        assert_eq!(g.m(), 1824);
+        // 57-regular: each word excludes itself and 6 distance-1 words.
+        for i in 0..64 {
+            assert_eq!(g.degree(i), 57);
+        }
+        // Adjacency semantics.
+        assert!(!g.has_edge(0b000000, 0b000001)); // distance 1
+        assert!(g.has_edge(0b000000, 0b000011)); // distance 2
+    }
+
+    #[test]
+    fn johnson16_2_4_matches_dimacs() {
+        let g = kneser_graph(16, 2).unwrap();
+        assert_eq!(g.n(), 120);
+        assert_eq!(g.m(), 5460);
+        // Kneser K(16,2) is C(14,2) = 91 regular.
+        for i in 0..120 {
+            assert_eq!(g.degree(i), 91);
+        }
+    }
+
+    #[test]
+    fn petersen_is_kneser_5_2() {
+        let g = kneser_graph(5, 2).unwrap();
+        assert_eq!((g.n(), g.m()), (10, 15));
+        for i in 0..10 {
+            assert_eq!(g.degree(i), 3);
+        }
+    }
+
+    #[test]
+    fn subset_enumeration() {
+        let s = k_subsets(4, 2);
+        assert_eq!(s.len(), 6);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        for m in s {
+            assert_eq!(m.count_ones(), 2);
+        }
+        assert_eq!(k_subsets(5, 0), vec![0]);
+        assert_eq!(k_subsets(3, 3), vec![0b111]);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(hamming_graph(0, 1).is_err());
+        assert!(hamming_graph(21, 1).is_err());
+        assert!(hamming_graph(4, 0).is_err());
+        assert!(kneser_graph(4, 0).is_err());
+        assert!(kneser_graph(3, 5).is_err());
+        assert!(kneser_graph(33, 2).is_err());
+    }
+
+    #[test]
+    fn hamming_full_distance_threshold() {
+        // min_dist = bits keeps only antipodal pairs: a perfect matching.
+        let g = hamming_graph(3, 3).unwrap();
+        assert_eq!(g.m(), 4);
+        for i in 0..8 {
+            assert_eq!(g.degree(i), 1);
+            assert!(g.has_edge(i, i ^ 0b111));
+        }
+    }
+}

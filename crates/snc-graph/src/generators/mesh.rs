@@ -1,0 +1,84 @@
+//! Banded mesh graphs.
+//!
+//! Stand-in generator for the `dwt-*` structural-engineering meshes of
+//! Table I. Those matrices come from finite-element discretizations whose
+//! adjacency is concentrated near the diagonal after bandwidth-reducing
+//! (Cuthill–McKee) ordering — which is exactly a banded graph: vertex `i`
+//! connects to `i ± 1, …, i ± b`.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// The banded graph with bandwidth `b`: edges `{i, i+d}` for `1 ≤ d ≤ b`.
+///
+/// Edge count: `n·b − b(b+1)/2` (for `b < n`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `1 ≤ b < n`.
+pub fn banded(n: usize, b: usize, seed_unused: u64) -> Result<Graph, GraphError> {
+    let _ = seed_unused; // deterministic; parameter kept for generator-API uniformity
+    if b == 0 || b >= n {
+        return Err(GraphError::InvalidParameter {
+            name: "b",
+            constraint: format!("need 1 <= b < n = {n}, got {b}"),
+        });
+    }
+    let mut edges = Vec::with_capacity(n * b);
+    for i in 0..n {
+        for d in 1..=b {
+            if i + d < n {
+                edges.push((i as u32, (i + d) as u32));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The smallest bandwidth whose banded graph on `n` vertices has at least
+/// `m` edges (useful for targeting an edge count before trimming).
+pub fn bandwidth_for_edges(n: usize, m: usize) -> usize {
+    let mut b = 1;
+    while b + 1 < n && n * b - b * (b + 1) / 2 < m {
+        b += 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_formula() {
+        for &(n, b) in &[(10usize, 1usize), (10, 3), (209, 4), (503, 7)] {
+            let g = banded(n, b, 0).unwrap();
+            assert_eq!(g.m(), n * b - b * (b + 1) / 2, "n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn band_structure() {
+        let g = banded(20, 3, 0).unwrap();
+        assert!(g.has_edge(5, 6));
+        assert!(g.has_edge(5, 8));
+        assert!(!g.has_edge(5, 9));
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(10), 6); // interior: b on each side
+    }
+
+    #[test]
+    fn bandwidth_targeting() {
+        let b = bandwidth_for_edges(209, 767);
+        let g = banded(209, b, 0).unwrap();
+        assert!(g.m() >= 767);
+        let g_smaller = banded(209, b - 1, 0).unwrap();
+        assert!(g_smaller.m() < 767);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(banded(5, 0, 0).is_err());
+        assert!(banded(5, 5, 0).is_err());
+    }
+}

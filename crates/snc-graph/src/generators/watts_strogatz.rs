@@ -1,0 +1,119 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! Stand-in generator for spatially embedded, low-diameter networks (the
+//! `road-chesapeake` entry of Table I): a ring lattice where each vertex
+//! connects to its `k` nearest ring neighbors, with each edge rewired to a
+//! uniform random endpoint with probability `beta`.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use snc_devices::{Rng64, Xoshiro256pp};
+use std::collections::HashSet;
+
+/// Samples a Watts–Strogatz graph `WS(n, k, beta)`.
+///
+/// `k` must be even and less than `n`; `beta ∈ [0, 1]` is the rewiring
+/// probability (0 = pure lattice, 1 = fully random).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] on violated constraints.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !k.is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter {
+            name: "k",
+            constraint: format!("must be even, got {k}"),
+        });
+    }
+    if k >= n {
+        return Err(GraphError::InvalidParameter {
+            name: "k",
+            constraint: format!("must be < n = {n}, got {k}"),
+        });
+    }
+    if !(beta.is_finite() && (0.0..=1.0).contains(&beta)) {
+        return Err(GraphError::InvalidParameter {
+            name: "beta",
+            constraint: format!("must be in [0, 1], got {beta}"),
+        });
+    }
+    let mut rng = Xoshiro256pp::new(seed);
+    let key = |u: u32, v: u32| (u.min(v), u.max(v));
+    // Ring lattice, in deterministic order; the hash set only answers
+    // membership queries (iteration order never matters).
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
+    let mut present: HashSet<(u32, u32)> = HashSet::with_capacity(n * k);
+    for u in 0..n {
+        for d in 1..=k / 2 {
+            let e = key(u as u32, ((u + d) % n) as u32);
+            if present.insert(e) {
+                edges.push(e);
+            }
+        }
+    }
+    // Rewire each lattice edge with probability beta.
+    for edge in edges.iter_mut() {
+        if rng.next_bool(beta) {
+            let (u, v) = *edge;
+            // Pick a new endpoint for u avoiding self-loops and duplicates.
+            for _attempt in 0..32 {
+                let w = rng.next_index(n) as u32;
+                if w != u && !present.contains(&key(u, w)) {
+                    present.remove(&(u, v));
+                    let e = key(u, w);
+                    present.insert(e);
+                    *edge = e;
+                    break;
+                }
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_limit() {
+        // beta = 0 keeps the pure ring lattice: k-regular, m = n·k/2.
+        let g = watts_strogatz(20, 4, 0.0, 1).unwrap();
+        assert_eq!(g.m(), 40);
+        for i in 0..20 {
+            assert_eq!(g.degree(i), 4);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count() {
+        let g = watts_strogatz(50, 6, 0.3, 2).unwrap();
+        assert_eq!(g.m(), 150);
+    }
+
+    #[test]
+    fn full_rewiring_destroys_lattice() {
+        let g = watts_strogatz(100, 4, 1.0, 3).unwrap();
+        // Some lattice edges must be gone.
+        let lattice_edges = (0..100).filter(|&u| g.has_edge(u, (u + 1) % 100)).count();
+        assert!(lattice_edges < 95, "still {lattice_edges} lattice edges");
+        assert_eq!(g.m(), 200);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(watts_strogatz(10, 3, 0.1, 1).is_err()); // odd k
+        assert!(watts_strogatz(4, 4, 0.1, 1).is_err()); // k >= n
+        assert!(watts_strogatz(10, 2, 1.5, 1).is_err()); // bad beta
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = watts_strogatz(30, 4, 0.2, 5).unwrap();
+        let b = watts_strogatz(30, 4, 0.2, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

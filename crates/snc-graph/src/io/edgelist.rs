@@ -1,0 +1,165 @@
+//! Plain edge-list format.
+//!
+//! One `u v` pair per line, whitespace separated; lines starting with `#`
+//! or `%` are comments. Vertex ids may be 0- or 1-based; the parser infers
+//! the vertex count from the maximum id and never renumbers, except that a
+//! file whose minimum id is 1 is treated as 1-based and shifted down.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use std::fmt::Write as _;
+
+/// Parses an edge list from a string.
+///
+/// Files written by [`to_string`] carry a `# snc edge list: n=.. m=..`
+/// header that pins the vertex count and 0-based indexing, making the
+/// round trip exact even with isolated or unused low vertices. Foreign
+/// files fall back to the 0/1-based inference heuristic.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines.
+pub fn parse(content: &str) -> Result<Graph, GraphError> {
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut min_id = u64::MAX;
+    let mut max_id = 0u64;
+    let mut declared_n: Option<usize> = None;
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("# snc edge list:") {
+            for token in rest.split_whitespace() {
+                if let Some(n) = token.strip_prefix("n=") {
+                    declared_n = n.parse().ok();
+                }
+            }
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing first endpoint"))?
+            .parse()
+            .map_err(|_| parse_err(lineno, "first endpoint is not an integer"))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing second endpoint"))?
+            .parse()
+            .map_err(|_| parse_err(lineno, "second endpoint is not an integer"))?;
+        // Extra columns (weights, timestamps) are ignored.
+        min_id = min_id.min(u.min(v));
+        max_id = max_id.max(u.max(v));
+        edges.push((u, v));
+    }
+    if edges.is_empty() {
+        return Graph::from_edges(declared_n.unwrap_or(0), &[]);
+    }
+    // A declared header pins 0-based indexing; otherwise infer: files whose
+    // minimum id is 1 are treated as 1-based and shifted down.
+    let shift = match declared_n {
+        Some(_) => 0,
+        None => u64::from(min_id >= 1),
+    };
+    let n = declared_n.unwrap_or((max_id - shift + 1) as usize);
+    let shifted: Vec<(u32, u32)> = edges
+        .into_iter()
+        .map(|(u, v)| ((u - shift) as u32, (v - shift) as u32))
+        .collect();
+    Graph::from_edges(n, &shifted)
+}
+
+/// Serializes a graph as a 0-based edge list with a header comment.
+pub fn to_string(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 * g.m() + 64);
+    // The header makes the round trip exact: it declares the vertex count
+    // and marks the ids as 0-based (see `parse`).
+    let _ = writeln!(out, "# snc edge list: n={} m={}", g.n(), g.m());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+fn parse_err(lineno: usize, message: &str) -> GraphError {
+    GraphError::Parse {
+        line: lineno + 1,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_zero_based() {
+        let g = parse("0 1\n1 2\n").unwrap();
+        assert_eq!((g.n(), g.m()), (3, 2));
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn parses_one_based_with_shift() {
+        let g = parse("1 2\n2 3\n").unwrap();
+        assert_eq!((g.n(), g.m()), (3, 2));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let g = parse("# header\n% other comment\n\n0 1\n").unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn extra_columns_ignored() {
+        let g = parse("0 1 3.5\n1 2 0.1 extra\n").unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_number() {
+        match parse("0 1\nbogus\n") {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse("0\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse("# nothing\n").unwrap();
+        assert_eq!((g.n(), g.m()), (0, 0));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::generators::structured::grid2d(3, 3);
+        let s = to_string(&g);
+        let g2 = parse(&s).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn header_pins_indexing_and_isolated_vertices() {
+        // Vertex 0 isolated, only edge (1,2): without the header this would
+        // be misread as a 1-based file and shifted to (0,1).
+        let g = Graph::from_edges(4, &[(1, 2)]).unwrap();
+        let g2 = parse(&to_string(&g)).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.n(), 4);
+        assert!(g2.has_edge(1, 2));
+        assert!(!g2.has_edge(0, 1));
+    }
+
+    #[test]
+    fn header_with_zero_edges() {
+        let g = Graph::empty(5);
+        let g2 = parse(&to_string(&g)).unwrap();
+        assert_eq!(g2.n(), 5);
+        assert_eq!(g2.m(), 0);
+    }
+}

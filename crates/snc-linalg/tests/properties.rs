@@ -1,0 +1,107 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use snc_linalg::eigen::jacobi::symmetric_eigen;
+use snc_linalg::{sdp, vector, Cholesky, DMatrix, GaussianSampler, SdpConfig};
+
+/// Strategy: a random symmetric matrix with bounded entries.
+fn symmetric(n: usize) -> impl Strategy<Value = DMatrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * (n + 1) / 2).prop_map(move |tri| {
+        let mut m = DMatrix::zeros(n, n);
+        let mut it = tri.into_iter();
+        for i in 0..n {
+            for j in i..n {
+                let v = it.next().expect("enough entries");
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Jacobi reconstructs: V·diag(λ)·Vᵀ = A, VᵀV = I, trace preserved.
+    #[test]
+    fn jacobi_reconstruction(a in symmetric(5)) {
+        let (vals, vecs) = symmetric_eigen(&a).expect("jacobi converges");
+        let lam = DMatrix::from_fn(5, 5, |i, j| if i == j { vals[i] } else { 0.0 });
+        let recon = vecs.matmul(&lam).unwrap().matmul(&vecs.transpose()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a) < 1e-9);
+        let trace: f64 = (0..5).map(|i| a[(i, i)]).sum();
+        prop_assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-9);
+        // Sorted ascending.
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    /// Cholesky of A = BBᵀ + I round-trips and solves.
+    #[test]
+    fn cholesky_properties(b in symmetric(4)) {
+        let a = b.matmul(&b.transpose()).unwrap().add_scaled_identity(1.0);
+        let ch = Cholesky::new(&a).expect("SPD by construction");
+        prop_assert!(ch.reconstruct().max_abs_diff(&a) < 1e-9);
+        let rhs = [1.0, 2.0, -0.5, 0.25];
+        let x = ch.solve(&rhs).unwrap();
+        let ax = a.matvec(&x);
+        for (u, v) in ax.iter().zip(&rhs) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    /// Gaussian sampler: moments of W·g match the Gram matrix diagonal.
+    #[test]
+    fn factor_sampling_variance(scale in 0.2f64..2.0, seed in any::<u64>()) {
+        let w = DMatrix::from_rows(&[&[scale, 0.0], &[0.0, 2.0 * scale]]);
+        let mut s = GaussianSampler::new(seed);
+        let mut g = vec![0.0; 2];
+        let mut x = vec![0.0; 2];
+        let n = 20_000;
+        let (mut v0, mut v1) = (0.0, 0.0);
+        for _ in 0..n {
+            s.correlated_from_factor_into(&w, &mut g, &mut x);
+            v0 += x[0] * x[0];
+            v1 += x[1] * x[1];
+        }
+        let nf = n as f64;
+        prop_assert!((v0 / nf - scale * scale).abs() < 0.12 * scale * scale + 0.01);
+        prop_assert!((v1 / nf - 4.0 * scale * scale).abs() < 0.12 * 4.0 * scale * scale + 0.01);
+    }
+
+    /// SDP solutions always have unit rows and respect the trivial energy
+    /// bounds −Σ|w| ≤ E ≤ Σ|w|.
+    #[test]
+    fn sdp_feasibility(edge_bits in proptest::collection::vec(any::<bool>(), 10), seed in 0u64..50) {
+        // Edges over K5 chosen by the bit mask.
+        let all: Vec<(u32, u32)> = (0..5u32)
+            .flat_map(|i| ((i + 1)..5).map(move |j| (i, j)))
+            .collect();
+        let edges: Vec<(u32, u32)> = all
+            .iter()
+            .zip(&edge_bits)
+            .filter(|(_, &b)| b)
+            .map(|(&e, _)| e)
+            .collect();
+        let cfg = SdpConfig { seed, max_iters: 500, ..SdpConfig::default() };
+        let sol = sdp::solve_maxcut_sdp(5, &edges, &cfg).expect("solves");
+        for i in 0..5 {
+            prop_assert!((vector::norm(sol.factors.row(i)) - 1.0).abs() < 1e-8);
+        }
+        let w_total = edges.len() as f64;
+        prop_assert!(sol.energy >= -w_total - 1e-9);
+        prop_assert!(sol.energy <= w_total + 1e-9);
+        // The implied cut bound is at least half the edges (random cut).
+        if !edges.is_empty() {
+            prop_assert!(sol.cut_upper_bound(w_total) >= w_total / 2.0 - 1e-6);
+        }
+    }
+
+    /// Matrix multiplication is associative on small random matrices.
+    #[test]
+    fn matmul_associative(a in symmetric(3), b in symmetric(3), c in symmetric(3)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-10);
+    }
+}

@@ -1,0 +1,329 @@
+//! Simulated annealing: the Ising-machine baseline class.
+//!
+//! The paper positions its circuits against hardware Ising annealers
+//! (\[10\], \[11\], \[30\] in its references), which solve MAXCUT by cooling an
+//! Ising system whose couplings are the graph's adjacency. This module
+//! provides the software version of that baseline: single-spin-flip
+//! Metropolis with a geometric temperature schedule, operating directly on
+//! cut values (`ΔE = −Δcut`), plus a best-of-restarts driver. It is useful
+//! both as an additional comparison point for the experiment harness and
+//! as the classical reference for "no conversion to an Ising model with
+//! pairwise interactions is needed" claims.
+
+use snc_devices::{Rng64, SplitMix64, Xoshiro256pp};
+use snc_graph::{CutAssignment, Graph};
+
+/// Configuration for the simulated annealer.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnealConfig {
+    /// Number of sweeps (each sweep proposes `n` single-vertex flips).
+    pub sweeps: u64,
+    /// Initial temperature (in cut-edge units).
+    pub t_start: f64,
+    /// Final temperature.
+    pub t_end: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        Self {
+            sweeps: 200,
+            t_start: 2.0,
+            t_end: 0.01,
+            seed: 0xA22,
+        }
+    }
+}
+
+/// Runs single-flip Metropolis annealing from a random start.
+///
+/// Returns the best assignment *seen* (not merely the final state) and its
+/// cut value. The proposal at temperature `T` accepts a flip with
+/// probability `min(1, exp(Δcut / T))` — uphill moves in cut value are
+/// always accepted.
+pub fn simulated_annealing(graph: &Graph, cfg: &AnnealConfig) -> (CutAssignment, u64) {
+    let n = graph.n();
+    let mut rng = Xoshiro256pp::new(cfg.seed);
+    let mut cut = CutAssignment::random(n, &mut rng);
+    if n == 0 {
+        return (cut, 0);
+    }
+    let mut value = cut.cut_value(graph) as i64;
+    let mut best = cut.clone();
+    let mut best_value = value;
+
+    let sweeps = cfg.sweeps.max(1);
+    // Geometric cooling from t_start to t_end across sweeps.
+    let ratio = if cfg.t_start > 0.0 && cfg.t_end > 0.0 {
+        (cfg.t_end / cfg.t_start).powf(1.0 / sweeps as f64)
+    } else {
+        1.0
+    };
+    let mut temperature = cfg.t_start.max(1e-12);
+
+    for _ in 0..sweeps {
+        for _ in 0..n {
+            let v = rng.next_index(n);
+            let delta = cut.flip_delta(graph, v);
+            let accept = if delta >= 0 {
+                true
+            } else {
+                rng.next_f64() < (delta as f64 / temperature).exp()
+            };
+            if accept {
+                cut.flip(v);
+                value += delta;
+                if value > best_value {
+                    best_value = value;
+                    best = cut.clone();
+                }
+            }
+        }
+        temperature *= ratio;
+    }
+    (best, best_value as u64)
+}
+
+/// Parallel tempering (replica exchange) over a temperature ladder.
+///
+/// The enhancement of reference \[11\] of the paper ("Enhancing the Solution
+/// Quality of Hardware Ising-Model Solver via Parallel Tempering"):
+/// `replicas` Metropolis chains run at geometrically spaced temperatures;
+/// after every sweep, adjacent-temperature replicas propose a state swap
+/// accepted with probability `min(1, exp(Δβ·Δcut))` (cut-maximization
+/// form). Hot chains explore, cold chains exploit, and swaps ferry good
+/// solutions down the ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct TemperingConfig {
+    /// Number of replicas (temperature rungs).
+    pub replicas: usize,
+    /// Sweeps between exchange attempts.
+    pub sweeps_per_exchange: u64,
+    /// Number of exchange rounds.
+    pub rounds: u64,
+    /// Coldest temperature.
+    pub t_cold: f64,
+    /// Hottest temperature.
+    pub t_hot: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TemperingConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 8,
+            sweeps_per_exchange: 5,
+            rounds: 40,
+            t_cold: 0.05,
+            t_hot: 4.0,
+            seed: 0x7E47,
+        }
+    }
+}
+
+/// Runs parallel tempering and returns the best assignment seen anywhere
+/// in the ladder.
+pub fn parallel_tempering(graph: &Graph, cfg: &TemperingConfig) -> (CutAssignment, u64) {
+    let n = graph.n();
+    let replicas = cfg.replicas.max(2);
+    let mut rng = Xoshiro256pp::new(cfg.seed);
+    if n == 0 {
+        return (CutAssignment::all_ones(0), 0);
+    }
+    // Geometric temperature ladder, hot to cold.
+    let ratio = (cfg.t_cold / cfg.t_hot).powf(1.0 / (replicas - 1) as f64);
+    let temperatures: Vec<f64> = (0..replicas)
+        .map(|k| cfg.t_hot * ratio.powi(k as i32))
+        .collect();
+
+    let mut states: Vec<CutAssignment> = (0..replicas)
+        .map(|_| CutAssignment::random(n, &mut rng))
+        .collect();
+    let mut values: Vec<i64> = states.iter().map(|c| c.cut_value(graph) as i64).collect();
+    let mut chain_rngs: Vec<Xoshiro256pp> = (0..replicas)
+        .map(|k| Xoshiro256pp::new(SplitMix64::derive(cfg.seed, k as u64 + 1)))
+        .collect();
+
+    let mut best_value = *values.iter().max().expect("non-empty ladder");
+    let mut best = states[values
+        .iter()
+        .position(|&v| v == best_value)
+        .expect("max exists")]
+    .clone();
+
+    for _round in 0..cfg.rounds.max(1) {
+        // Metropolis sweeps within each replica.
+        for (k, (state, value)) in states.iter_mut().zip(values.iter_mut()).enumerate() {
+            let t = temperatures[k];
+            let rng_k = &mut chain_rngs[k];
+            for _ in 0..cfg.sweeps_per_exchange.max(1) {
+                for _ in 0..n {
+                    let v = rng_k.next_index(n);
+                    let delta = state.flip_delta(graph, v);
+                    if delta >= 0 || rng_k.next_f64() < (delta as f64 / t).exp() {
+                        state.flip(v);
+                        *value += delta;
+                        if *value > best_value {
+                            best_value = *value;
+                            best = state.clone();
+                        }
+                    }
+                }
+            }
+        }
+        // Adjacent-pair exchanges (alternating parity keeps detailed
+        // balance across rounds).
+        for k in 0..replicas - 1 {
+            let d_beta = 1.0 / temperatures[k + 1] - 1.0 / temperatures[k];
+            let d_cut = (values[k + 1] - values[k]) as f64;
+            // For cut maximization, energy = −cut: accept with
+            // exp((β_hot − β_cold)·(cut_cold − cut_hot)) — equivalently:
+            let accept = d_beta * (-d_cut);
+            if accept >= 0.0 || rng.next_f64() < accept.exp() {
+                states.swap(k, k + 1);
+                values.swap(k, k + 1);
+            }
+        }
+    }
+    (best, best_value as u64)
+}
+
+/// Best of `restarts` independent annealing runs with derived seeds.
+pub fn multistart_annealing(
+    graph: &Graph,
+    cfg: &AnnealConfig,
+    restarts: usize,
+) -> (CutAssignment, u64) {
+    let mut best: Option<(CutAssignment, u64)> = None;
+    for r in 0..restarts.max(1) {
+        let run_cfg = AnnealConfig {
+            seed: SplitMix64::derive(cfg.seed, r as u64),
+            ..*cfg
+        };
+        let (cut, value) = simulated_annealing(graph, &run_cfg);
+        if best.as_ref().is_none_or(|(_, bv)| value > *bv) {
+            best = Some((cut, value));
+        }
+    }
+    best.expect("at least one restart")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute_force;
+    use snc_graph::generators::erdos_renyi::gnp;
+    use snc_graph::generators::structured::{complete_bipartite, cycle, petersen};
+
+    #[test]
+    fn finds_optimum_on_small_structured_graphs() {
+        for (g, opt) in [
+            (petersen(), 12u64),
+            (complete_bipartite(5, 5), 25),
+            (cycle(11), 10),
+        ] {
+            let (cut, v) = simulated_annealing(&g, &AnnealConfig::default());
+            assert_eq!(cut.cut_value(&g), v);
+            assert!(v >= opt - 1, "got {v}, opt {opt}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = gnp(16, 0.4, seed).unwrap();
+            let (_, opt) = brute_force(&g);
+            let cfg = AnnealConfig { seed, ..AnnealConfig::default() };
+            let (_, v) = multistart_annealing(&g, &cfg, 4);
+            assert!(v >= opt.saturating_sub(1), "seed={seed}: {v} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn returned_best_is_best_seen() {
+        let g = gnp(30, 0.3, 9).unwrap();
+        let (cut, v) = simulated_annealing(&g, &AnnealConfig::default());
+        assert_eq!(cut.cut_value(&g), v);
+        assert!(v * 2 >= g.m() as u64, "below the random expectation");
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let g = gnp(20, 0.4, 2).unwrap();
+        let a = simulated_annealing(&g, &AnnealConfig::default());
+        let b = simulated_annealing(&g, &AnnealConfig::default());
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn zero_temperature_is_greedy_descent() {
+        // t_start = t_end → constant temperature; tiny value ≈ pure hill
+        // climbing, which still reaches a 1-opt-like state.
+        let g = gnp(20, 0.4, 5).unwrap();
+        let cfg = AnnealConfig {
+            t_start: 1e-9,
+            t_end: 1e-9,
+            sweeps: 100,
+            seed: 3,
+        };
+        let (cut, v) = simulated_annealing(&g, &cfg);
+        assert_eq!(cut.cut_value(&g), v);
+        assert!(2 * v >= g.m() as u64);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(simulated_annealing(&g, &AnnealConfig::default()).1, 0);
+        assert_eq!(parallel_tempering(&g, &TemperingConfig::default()).1, 0);
+    }
+
+    #[test]
+    fn tempering_finds_optimum_on_small_graphs() {
+        for (g, opt) in [
+            (petersen(), 12u64),
+            (complete_bipartite(4, 6), 24),
+            (cycle(13), 12),
+        ] {
+            let (cut, v) = parallel_tempering(&g, &TemperingConfig::default());
+            assert_eq!(cut.cut_value(&g), v);
+            assert!(v >= opt - 1, "got {v}, opt {opt}");
+        }
+    }
+
+    #[test]
+    fn tempering_matches_exact_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = gnp(18, 0.35, seed).unwrap();
+            let (_, opt) = brute_force(&g);
+            let cfg = TemperingConfig { seed, ..TemperingConfig::default() };
+            let (_, v) = parallel_tempering(&g, &cfg);
+            assert!(v >= opt.saturating_sub(1), "seed={seed}: {v} vs {opt}");
+        }
+    }
+
+    #[test]
+    fn tempering_at_least_as_good_as_single_chain() {
+        // With a matched total sweep budget, tempering should not lose to
+        // a single annealing run (statistically; fixed seeds here).
+        let g = gnp(40, 0.25, 4).unwrap();
+        let t_cfg = TemperingConfig { replicas: 8, rounds: 25, ..TemperingConfig::default() };
+        let (_, pt) = parallel_tempering(&g, &t_cfg);
+        let a_cfg = AnnealConfig { sweeps: 200, ..AnnealConfig::default() };
+        let (_, sa) = simulated_annealing(&g, &a_cfg);
+        assert!(pt + 2 >= sa, "tempering {pt} far below annealing {sa}");
+    }
+
+    #[test]
+    fn tempering_deterministic() {
+        let g = gnp(20, 0.3, 8).unwrap();
+        let a = parallel_tempering(&g, &TemperingConfig::default());
+        let b = parallel_tempering(&g, &TemperingConfig::default());
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0, b.0);
+    }
+}

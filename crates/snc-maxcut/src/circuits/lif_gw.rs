@@ -1,0 +1,204 @@
+//! The LIF-Goemans-Williamson circuit (Fig. 1, §IV.A).
+//!
+//! A pool of `r` stochastic devices drives `n` LIF neurons through weights
+//! proportional to the SDP factor matrix `W_GW`. By §III.C the stationary
+//! membrane covariance is `κ·W_GW W_GWᵀ` — exactly (proportionally) the
+//! covariance the Bertsimas–Ye sampling step requires. Thresholding each
+//! neuron at its stationary mean makes "spiked vs. silent" the sign of a
+//! centered Gaussian: *"Neurons that spike together on a given timestep map
+//! to vertices on one side of the cut."*
+//!
+//! Between samples the circuit free-runs for a decorrelation interval
+//! (several membrane time constants) so consecutive readouts are
+//! approximately independent — the hardware analogue of drawing fresh
+//! Gaussians.
+
+use crate::sampling::CutSampler;
+use snc_devices::{CommonCause, DeviceModel, DevicePool, PoolSpec};
+use snc_graph::CutAssignment;
+use snc_linalg::DMatrix;
+use snc_neuro::{DenseWeights, DeviceDrivenNetwork, LifParams, Reset};
+
+/// Configuration of the LIF-GW circuit.
+#[derive(Clone, Debug)]
+pub struct LifGwConfig {
+    /// Membrane parameters of the LIF population.
+    pub lif: LifParams,
+    /// Reset policy of the readout (default: none — pure statistical
+    /// threshold readout; see `snc_neuro::lif::Reset`).
+    pub reset: Reset,
+    /// Scale applied to the SDP factors when programming the synapses
+    /// ("the precise magnitudes of these weights are not critical", §IV.A).
+    pub weight_scale: f64,
+    /// Steps between samples; `None` uses the analytic decorrelation
+    /// horizon (≈ 5τ).
+    pub decorrelate_steps: Option<u64>,
+    /// Device model (fair coins in the paper's evaluation).
+    pub device: DeviceModel,
+    /// Optional cross-device common-cause correlation (robustness study).
+    pub common_cause: Option<CommonCause>,
+    /// Steps to free-run before the first sample.
+    pub warmup_steps: u64,
+}
+
+impl Default for LifGwConfig {
+    fn default() -> Self {
+        Self {
+            lif: LifParams::default(),
+            reset: Reset::None,
+            weight_scale: 1.0,
+            decorrelate_steps: None,
+            device: DeviceModel::fair(),
+            common_cause: None,
+            warmup_steps: 200,
+        }
+    }
+}
+
+/// The LIF-GW sampling circuit.
+#[derive(Clone, Debug)]
+pub struct LifGwCircuit {
+    net: DeviceDrivenNetwork<DenseWeights>,
+    decorrelate: u64,
+}
+
+impl LifGwCircuit {
+    /// Builds the circuit from an SDP factor matrix (`n × r`, one row per
+    /// vertex — the output of [`crate::gw::solve_gw`]).
+    pub fn new(factors: &DMatrix, seed: u64, cfg: &LifGwConfig) -> Self {
+        let r = factors.cols();
+        let weights = DenseWeights::from_matrix_scaled(factors, cfg.weight_scale);
+        let mut spec = PoolSpec::uniform(cfg.device.clone(), r);
+        if let Some(cc) = cfg.common_cause {
+            spec = spec.with_common_cause(cc);
+        }
+        let pool = DevicePool::new(spec, seed);
+        let mut net = DeviceDrivenNetwork::new(pool, weights, cfg.lif, cfg.reset);
+        net.step_many(cfg.warmup_steps);
+        let decorrelate = cfg
+            .decorrelate_steps
+            .unwrap_or_else(|| cfg.lif.decorrelation_steps());
+        Self { net, decorrelate }
+    }
+
+    /// Number of vertices / neurons.
+    pub fn n(&self) -> usize {
+        self.net.neurons()
+    }
+
+    /// Number of devices (the SDP rank).
+    pub fn devices(&self) -> usize {
+        self.net.devices()
+    }
+
+    /// Steps simulated between samples.
+    pub fn decorrelate_steps(&self) -> u64 {
+        self.decorrelate
+    }
+
+    /// The underlying network (for inspection / covariance checks).
+    pub fn network(&self) -> &DeviceDrivenNetwork<DenseWeights> {
+        &self.net
+    }
+}
+
+impl CutSampler for LifGwCircuit {
+    fn next_cut(&mut self) -> CutAssignment {
+        // Free-run to decorrelate from the previous sample, then read the
+        // spike pattern of the final step.
+        if self.decorrelate > 1 {
+            self.net.step_many(self.decorrelate - 1);
+        }
+        let spiked = self.net.step();
+        CutAssignment::from_spikes(spiked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute_force;
+    use crate::gw::{solve_gw, GwConfig, GwSampler};
+    use crate::sampling::{log2_checkpoints, sample_best_trace};
+    use snc_graph::generators::erdos_renyi::gnp;
+    use snc_graph::generators::structured::complete_bipartite;
+
+    #[test]
+    fn circuit_dimensions_follow_sdp_rank() {
+        let g = complete_bipartite(3, 3);
+        let sol = solve_gw(&g, &GwConfig::default()).unwrap();
+        let circuit = LifGwCircuit::new(&sol.factors, 1, &LifGwConfig::default());
+        assert_eq!(circuit.n(), 6);
+        assert_eq!(circuit.devices(), 4); // fixed rank 4 per the paper
+        assert_eq!(circuit.decorrelate_steps(), 50); // 5τ at τ/Δt = 10
+    }
+
+    #[test]
+    fn bipartite_cut_found_quickly() {
+        // On bipartite graphs the membrane correlations are ±1 between
+        // parts, so nearly every sample is the exact cut.
+        let g = complete_bipartite(4, 4);
+        let sol = solve_gw(&g, &GwConfig::default()).unwrap();
+        let mut circuit = LifGwCircuit::new(&sol.factors, 3, &LifGwConfig::default());
+        let trace = sample_best_trace(&mut circuit, &g, &log2_checkpoints(8));
+        assert_eq!(trace.final_best(), 16);
+    }
+
+    #[test]
+    fn matches_software_gw_on_small_graphs() {
+        // The headline claim of Fig. 3: "the LIF-GW circuit matches the
+        // performance of the generic solver."
+        for seed in 0..3u64 {
+            let g = gnp(14, 0.5, seed).unwrap();
+            let opt = brute_force(&g).1;
+            if opt == 0 {
+                continue;
+            }
+            let sol = solve_gw(&g, &GwConfig::default()).unwrap();
+            let cp = log2_checkpoints(128);
+            let mut circuit = LifGwCircuit::new(&sol.factors, seed, &LifGwConfig::default());
+            let circuit_trace = sample_best_trace(&mut circuit, &g, &cp);
+            let mut software = GwSampler::new(sol.factors.clone(), seed ^ 0xFF);
+            let software_trace = sample_best_trace(&mut software, &g, &cp);
+            let c = circuit_trace.final_best() as f64 / opt as f64;
+            let s = software_trace.final_best() as f64 / opt as f64;
+            assert!(
+                (c - s).abs() <= 0.12,
+                "seed={seed}: circuit {c:.3} vs software {s:.3}"
+            );
+            assert!(c >= 0.878, "seed={seed}: circuit ratio {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gnp(10, 0.4, 5).unwrap();
+        let sol = solve_gw(&g, &GwConfig::default()).unwrap();
+        let mut a = LifGwCircuit::new(&sol.factors, 7, &LifGwConfig::default());
+        let mut b = LifGwCircuit::new(&sol.factors, 7, &LifGwConfig::default());
+        for _ in 0..5 {
+            assert_eq!(a.next_cut(), b.next_cut());
+        }
+    }
+
+    #[test]
+    fn spike_rate_balanced_at_mean_threshold() {
+        let g = gnp(12, 0.5, 2).unwrap();
+        let sol = solve_gw(&g, &GwConfig::default()).unwrap();
+        let mut circuit = LifGwCircuit::new(&sol.factors, 11, &LifGwConfig::default());
+        let samples = 400;
+        let mut per_neuron = [0u32; 12];
+        for _ in 0..samples {
+            let cut = circuit.next_cut();
+            for i in 0..12 {
+                if cut.side(i) == 1 {
+                    per_neuron[i] += 1;
+                }
+            }
+        }
+        for (i, &c) in per_neuron.iter().enumerate() {
+            let rate = c as f64 / samples as f64;
+            assert!((rate - 0.5).abs() < 0.2, "neuron {i}: rate {rate}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The LIF-Trevisan circuit (Fig. 2, §IV.B).
+//!
+//! One stochastic device per vertex drives the LIF population through
+//! weights proportional to the Trevisan matrix `M = I + D^{-1/2}AD^{-1/2}`.
+//! The membrane covariance is then `κ·M²`, whose minimum eigenvector equals
+//! that of `M` (M is PSD). A single readout neuron's incoming weight vector
+//! `w`, trained with Oja's anti-Hebbian rule on the population activity,
+//! converges to that eigenvector; thresholding `w` by sign is the Trevisan
+//! cut. *"This circuit solves the MAXCUT problem entirely within the
+//! circuit, without requiring any external preprocessing."*
+//!
+//! Each call to [`CutSampler::next_cut`] advances the circuit by a fixed
+//! number of plasticity updates and reads the current weight vector — so
+//! the best-so-far curves *improve over time as learning proceeds*, the
+//! characteristic shape of the orange curves in Figs. 3–4.
+
+use crate::sampling::CutSampler;
+use snc_devices::{CommonCause, DeviceModel};
+use snc_graph::{CutAssignment, Graph};
+use snc_neuro::{TwoStageConfig, TwoStageNetwork};
+
+/// Configuration of the LIF-Trevisan circuit sampler.
+#[derive(Clone, Debug)]
+pub struct LifTrevisanConfig {
+    /// Two-stage network configuration (LIF params, learning rate, gain).
+    pub network: TwoStageConfig,
+    /// Plasticity updates applied per emitted cut sample.
+    pub updates_per_sample: u64,
+    /// Device model (fair coins in the paper's evaluation).
+    pub device: DeviceModel,
+    /// Optional cross-device correlation (robustness study).
+    pub common_cause: Option<CommonCause>,
+}
+
+impl Default for LifTrevisanConfig {
+    fn default() -> Self {
+        Self {
+            network: TwoStageConfig::default(),
+            updates_per_sample: 1,
+            device: DeviceModel::fair(),
+            common_cause: None,
+        }
+    }
+}
+
+/// The LIF-Trevisan circuit.
+#[derive(Clone, Debug)]
+pub struct LifTrevisanCircuit {
+    net: TwoStageNetwork,
+    updates_per_sample: u64,
+}
+
+impl LifTrevisanCircuit {
+    /// Builds the circuit for a graph.
+    pub fn new(graph: &Graph, seed: u64, cfg: &LifTrevisanConfig) -> Self {
+        let net = TwoStageNetwork::with_devices(
+            graph,
+            cfg.device.clone(),
+            cfg.common_cause,
+            seed,
+            cfg.network,
+        );
+        Self {
+            net,
+            updates_per_sample: cfg.updates_per_sample.max(1),
+        }
+    }
+
+    /// Number of vertices (= neurons = devices).
+    pub fn n(&self) -> usize {
+        self.net.n()
+    }
+
+    /// The current plastic weight vector.
+    pub fn readout_weights(&self) -> &[f64] {
+        self.net.readout_weights()
+    }
+
+    /// Total plasticity updates applied.
+    pub fn updates(&self) -> u64 {
+        self.net.updates()
+    }
+
+    /// The circuit's current cut hypothesis without advancing time.
+    pub fn current_cut(&self) -> CutAssignment {
+        CutAssignment::from_signs(self.net.readout_weights())
+    }
+}
+
+impl CutSampler for LifTrevisanCircuit {
+    fn next_cut(&mut self) -> CutAssignment {
+        self.net.run_updates(self.updates_per_sample);
+        self.current_cut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{log2_checkpoints, sample_best_trace};
+    use crate::trevisan::{solve_trevisan, TrevisanConfig};
+    use snc_graph::generators::erdos_renyi::gnp;
+    use snc_graph::generators::structured::{complete_bipartite, cycle};
+    use snc_linalg::vector;
+
+    #[test]
+    fn solves_bipartite_within_budget() {
+        let g = complete_bipartite(3, 3);
+        let mut circuit = LifTrevisanCircuit::new(&g, 5, &LifTrevisanConfig::default());
+        let trace = sample_best_trace(&mut circuit, &g, &log2_checkpoints(20_000));
+        assert_eq!(trace.final_best(), 9, "trace={:?}", trace.best);
+        assert_eq!(circuit.n(), 6);
+    }
+
+    #[test]
+    fn performance_improves_with_learning() {
+        // The characteristic LIF-TR shape: early samples are near-random,
+        // late samples approach the spectral solution.
+        let g = gnp(24, 0.3, 3).unwrap();
+        let mut circuit = LifTrevisanCircuit::new(&g, 7, &LifTrevisanConfig::default());
+        let cp = log2_checkpoints(30_000);
+        let trace = sample_best_trace(&mut circuit, &g, &cp);
+        let early = trace.best[2] as f64; // after 4 samples
+        let late = trace.final_best() as f64;
+        assert!(
+            late > early,
+            "no improvement: early={early} late={late} trace={:?}",
+            trace.best
+        );
+        // Final cut must beat the random-cut expectation m/2.
+        assert!(late > g.m() as f64 / 2.0);
+    }
+
+    #[test]
+    fn converges_toward_software_spectral_cut() {
+        let g = cycle(12); // bipartite ring: spectral cut = 12
+        let software = solve_trevisan(&g, &TrevisanConfig::default()).unwrap();
+        let mut circuit = LifTrevisanCircuit::new(&g, 9, &LifTrevisanConfig::default());
+        let trace = sample_best_trace(&mut circuit, &g, &log2_checkpoints(30_000));
+        assert!(
+            trace.final_best() >= software.value.saturating_sub(1),
+            "circuit {} vs software {}",
+            trace.final_best(),
+            software.value
+        );
+        // The learned weight vector aligns with the software eigenvector.
+        let align = vector::alignment(circuit.readout_weights(), &software.eigenvector);
+        assert!(align > 0.9, "alignment={align}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = cycle(8);
+        let mut a = LifTrevisanCircuit::new(&g, 11, &LifTrevisanConfig::default());
+        let mut b = LifTrevisanCircuit::new(&g, 11, &LifTrevisanConfig::default());
+        for _ in 0..50 {
+            assert_eq!(a.next_cut(), b.next_cut());
+        }
+        assert_eq!(a.updates(), 50);
+    }
+
+    #[test]
+    fn updates_per_sample_respected() {
+        let g = cycle(6);
+        let cfg = LifTrevisanConfig {
+            updates_per_sample: 5,
+            ..LifTrevisanConfig::default()
+        };
+        let mut circuit = LifTrevisanCircuit::new(&g, 1, &cfg);
+        let _ = circuit.next_cut();
+        let _ = circuit.next_cut();
+        assert_eq!(circuit.updates(), 10);
+    }
+}

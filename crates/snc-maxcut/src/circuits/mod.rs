@@ -1,0 +1,20 @@
+//! The paper's neuromorphic circuits (§IV).
+//!
+//! Both circuits share the motif of a stochastic device pool driving a LIF
+//! population; they differ in where the weights come from and how a cut is
+//! read out:
+//!
+//! | | LIF-GW (Fig. 1) | LIF-Trevisan (Fig. 2) |
+//! |---|---|---|
+//! | devices | `r = rank(SDP)` (4) | one per vertex |
+//! | weights | SDP factor matrix | Trevisan matrix |
+//! | offline work | solve the SDP | none |
+//! | readout | spike pattern per sample step | sign of the plastic weight vector |
+//!
+//! This table is the trade-off the Discussion (§VI) highlights: LIF-GW
+//! needs few devices and delivers superb solutions immediately but requires
+//! an offline SDP; LIF-TR needs `n` devices and many samples but solves the
+//! problem *entirely within the circuit*.
+
+pub mod lif_gw;
+pub mod lif_trevisan;

@@ -1,0 +1,216 @@
+//! Exact MAXCUT solvers for ground truth on small instances.
+//!
+//! * [`brute_force`] — Gray-code enumeration of all 2^(n−1) distinct cuts
+//!   with O(deg) incremental updates; practical to n ≈ 26.
+//! * [`branch_and_bound`] — DFS over vertex assignments (degree-descending
+//!   order) with the "remaining edges" upper bound; usually far faster on
+//!   sparse graphs, and exact at any size it finishes.
+
+use snc_graph::{CutAssignment, Graph};
+
+/// Exhaustive maximum cut by Gray-code enumeration.
+///
+/// Complement symmetry is exploited by pinning vertex `n−1` to the `−1`
+/// side (every cut or its complement has this form).
+///
+/// # Panics
+///
+/// Panics if `n > 30` (use [`branch_and_bound`] or a heuristic instead).
+pub fn brute_force(graph: &Graph) -> (CutAssignment, u64) {
+    let n = graph.n();
+    assert!(n <= 30, "brute force is limited to n <= 30 (got {n})");
+    if n == 0 {
+        return (CutAssignment::all_ones(0), 0);
+    }
+    let free = n - 1; // last vertex pinned
+    let mut cut = CutAssignment::all_ones(n);
+    // all_ones is cut 0.
+    let mut value: i64 = 0;
+    let mut best_value: i64 = 0;
+    let mut best = cut.clone();
+    // Gray code over the free vertices: between consecutive codes exactly
+    // one vertex flips; the flip index is the number of trailing ones of
+    // the counter.
+    for counter in 1u64..(1u64 << free) {
+        let flip = counter.trailing_zeros() as usize;
+        value += cut.flip_delta(graph, flip);
+        cut.flip(flip);
+        if value > best_value {
+            best_value = value;
+            best = cut.clone();
+        }
+    }
+    (best, best_value as u64)
+}
+
+/// Exact maximum cut by branch and bound.
+///
+/// Vertices are assigned in degree-descending order. At each node the bound
+/// is `current cut + edges with at least one unassigned endpoint`; subtrees
+/// that cannot beat the incumbent are pruned.
+pub fn branch_and_bound(graph: &Graph) -> (CutAssignment, u64) {
+    let n = graph.n();
+    if n == 0 {
+        return (CutAssignment::all_ones(0), 0);
+    }
+    // Assignment order: highest degree first (stronger early bounds).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+
+    // remaining_edges[k] = edges whose *later-ordered* endpoint is at
+    // position >= k, i.e. edges not yet fully decided before level k.
+    let mut position = vec![0usize; n];
+    for (pos, &v) in order.iter().enumerate() {
+        position[v] = pos;
+    }
+    let mut undecided_at = vec![0u64; n + 1];
+    for (u, v) in graph.edges() {
+        let later = position[u as usize].max(position[v as usize]);
+        undecided_at[later] += 1;
+    }
+    // suffix sums: edges decided at level >= k.
+    for k in (0..n).rev() {
+        undecided_at[k] += undecided_at[k + 1];
+    }
+
+    let mut sides = vec![0i8; n]; // 0 = unassigned
+    let mut best_sides = vec![1i8; n];
+    let mut best_value = 0u64;
+
+    // Greedy warm start: a good incumbent prunes hard.
+    let (greedy_cut, greedy_value) = crate::greedy::local_search(graph, 0xB0B);
+    best_value = best_value.max(greedy_value);
+    best_sides.copy_from_slice(greedy_cut.sides());
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        graph: &Graph,
+        order: &[usize],
+        undecided_at: &[u64],
+        sides: &mut [i8],
+        level: usize,
+        current: u64,
+        best_value: &mut u64,
+        best_sides: &mut [i8],
+    ) {
+        if level == order.len() {
+            if current > *best_value {
+                *best_value = current;
+                best_sides.copy_from_slice(sides);
+            }
+            return;
+        }
+        if current + undecided_at[level] <= *best_value {
+            return; // even cutting every undecided edge cannot improve
+        }
+        let v = order[level];
+        // Count already-assigned neighbors on each side.
+        let mut plus = 0u64;
+        let mut minus = 0u64;
+        for &w in graph.neighbors(v) {
+            match sides[w as usize] {
+                1 => plus += 1,
+                -1 => minus += 1,
+                _ => {}
+            }
+        }
+        // Symmetry breaking: the first vertex goes to +1 only. Otherwise
+        // explore the side that cuts more already-assigned edges first.
+        let sides_to_try: &[i8] = if level == 0 {
+            &[1]
+        } else if minus >= plus {
+            &[1, -1]
+        } else {
+            &[-1, 1]
+        };
+        for &side in sides_to_try {
+            let gained = if side == 1 { minus } else { plus };
+            sides[v] = side;
+            dfs(
+                graph,
+                order,
+                undecided_at,
+                sides,
+                level + 1,
+                current + gained,
+                best_value,
+                best_sides,
+            );
+            sides[v] = 0;
+        }
+    }
+
+    dfs(
+        graph,
+        &order,
+        &undecided_at,
+        &mut sides,
+        0,
+        0,
+        &mut best_value,
+        &mut best_sides,
+    );
+    (CutAssignment::from_sides(best_sides), best_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snc_graph::generators::erdos_renyi::gnp;
+    use snc_graph::generators::structured::{complete, complete_bipartite, cycle, path, petersen};
+
+    #[test]
+    fn known_optimal_values() {
+        // K_n: ⌊n/2⌋·⌈n/2⌉.
+        assert_eq!(brute_force(&complete(4)).1, 4);
+        assert_eq!(brute_force(&complete(5)).1, 6);
+        assert_eq!(brute_force(&complete(6)).1, 9);
+        // Bipartite: all edges.
+        assert_eq!(brute_force(&complete_bipartite(3, 4)).1, 12);
+        // Even cycle: m; odd cycle: m − 1.
+        assert_eq!(brute_force(&cycle(8)).1, 8);
+        assert_eq!(brute_force(&cycle(9)).1, 8);
+        // Path: all edges.
+        assert_eq!(brute_force(&path(7)).1, 6);
+        // Petersen: 12 (classic).
+        assert_eq!(brute_force(&petersen()).1, 12);
+        // Empty graph.
+        assert_eq!(brute_force(&Graph::empty(3)).1, 0);
+        assert_eq!(brute_force(&Graph::empty(0)).1, 0);
+    }
+
+    #[test]
+    fn returned_assignment_achieves_value() {
+        for g in [petersen(), cycle(7), complete(6)] {
+            let (cut, v) = brute_force(&g);
+            assert_eq!(cut.cut_value(&g), v);
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_matches_brute_force() {
+        for seed in 0..6u64 {
+            let g = gnp(14, 0.4, seed).unwrap();
+            let bf = brute_force(&g).1;
+            let (cut, bb) = branch_and_bound(&g);
+            assert_eq!(bb, bf, "seed={seed}");
+            assert_eq!(cut.cut_value(&g), bb);
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_structured() {
+        assert_eq!(branch_and_bound(&petersen()).1, 12);
+        assert_eq!(branch_and_bound(&complete_bipartite(5, 5)).1, 25);
+        assert_eq!(branch_and_bound(&cycle(15)).1, 14);
+        assert_eq!(branch_and_bound(&Graph::empty(4)).1, 0);
+    }
+
+    #[test]
+    fn branch_and_bound_handles_larger_sparse() {
+        let g = gnp(40, 0.08, 5).unwrap();
+        let (cut, v) = branch_and_bound(&g);
+        assert_eq!(cut.cut_value(&g), v);
+        assert!(v >= g.m() as u64 / 2); // must beat the random expectation
+    }
+}

@@ -1,0 +1,17 @@
+//! Constraint-satisfaction extensions (§VI).
+//!
+//! "MAXCUT is a special case of a larger class of problems known as
+//! constraint satisfaction problems … using results due to Goemans and
+//! Williamson, our LIF-GW circuit can implement sampling steps for
+//! algorithms for MAXDICUT and MAX2SAT that yield approximation ratios of
+//! 0.796 and 0.878, respectively."
+//!
+//! Both problems reduce to the same machinery as MAXCUT: a signed-coupling
+//! SDP over `n + 1` unit vectors (the extra vector `v₀` is the "truth
+//! direction"), solved by the Burer–Monteiro solver, rounded by the same
+//! sign-of-correlated-Gaussian sampling the LIF-GW circuit performs in
+//! hardware. A variable is true iff its Gaussian lands on the same side as
+//! `v₀`'s.
+
+pub mod max2sat;
+pub mod maxdicut;

@@ -1,0 +1,99 @@
+//! Greedy and local-search baselines.
+//!
+//! Not part of the paper's comparison set, but standard classical
+//! reference points: 1-opt local search guarantees a cut of at least `m/2`
+//! and usually lands much higher. Also used as the warm start for the
+//! branch-and-bound incumbent.
+
+use snc_devices::Xoshiro256pp;
+use snc_graph::{CutAssignment, Graph};
+
+/// 1-opt local search from a random start: repeatedly flips any vertex
+/// whose flip increases the cut, until no single flip improves.
+///
+/// The result is a local optimum with value ≥ m/2 (each vertex has at
+/// least half its edges cut).
+pub fn local_search(graph: &Graph, seed: u64) -> (CutAssignment, u64) {
+    let mut rng = Xoshiro256pp::new(seed);
+    let cut = CutAssignment::random(graph.n(), &mut rng);
+    local_search_from(graph, cut)
+}
+
+/// 1-opt local search from a given starting assignment.
+pub fn local_search_from(graph: &Graph, mut cut: CutAssignment) -> (CutAssignment, u64) {
+    let n = graph.n();
+    if n == 0 {
+        return (cut, 0);
+    }
+    let mut improved = true;
+    // Each pass is O(Σ deg); the loop terminates because the cut value is
+    // integral, bounded by m, and strictly increases.
+    while improved {
+        improved = false;
+        for v in 0..n {
+            if cut.flip_delta(graph, v) > 0 {
+                cut.flip(v);
+                improved = true;
+            }
+        }
+    }
+    let value = cut.cut_value(graph);
+    (cut, value)
+}
+
+/// Best of `restarts` independent local searches.
+pub fn multistart_local_search(graph: &Graph, restarts: usize, seed: u64) -> (CutAssignment, u64) {
+    let mut best: Option<(CutAssignment, u64)> = None;
+    for r in 0..restarts.max(1) {
+        let (cut, value) = local_search(graph, seed.wrapping_add(r as u64));
+        if best.as_ref().is_none_or(|(_, bv)| value > *bv) {
+            best = Some((cut, value));
+        }
+    }
+    best.expect("at least one restart")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute_force;
+    use snc_graph::generators::erdos_renyi::gnp;
+    use snc_graph::generators::structured::{complete_bipartite, cycle, petersen};
+
+    #[test]
+    fn local_optimum_beats_half() {
+        for seed in 0..5u64 {
+            let g = gnp(60, 0.2, seed).unwrap();
+            let (cut, v) = local_search(&g, seed);
+            assert_eq!(cut.cut_value(&g), v);
+            assert!(v * 2 >= g.m() as u64, "seed={seed}: {v} < m/2");
+            // 1-opt: no improving flip remains.
+            for i in 0..g.n() {
+                assert!(cut.flip_delta(&g, i) <= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn finds_bipartite_optimum() {
+        // K_{a,b} local optima of 1-opt are global (known property).
+        let g = complete_bipartite(6, 7);
+        let (_, v) = multistart_local_search(&g, 5, 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn near_optimal_on_small_graphs() {
+        for g in [petersen(), cycle(9)] {
+            let opt = brute_force(&g).1;
+            let (_, v) = multistart_local_search(&g, 20, 3);
+            assert!(v >= opt - 1, "got {v}, opt {opt}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = snc_graph::Graph::empty(0);
+        assert_eq!(local_search(&g, 1).1, 0);
+    }
+}

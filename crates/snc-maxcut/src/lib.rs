@@ -1,0 +1,48 @@
+//! MAXCUT solvers and the paper's neuromorphic circuits.
+//!
+//! This crate is the primary contribution of the reproduction: it
+//! implements every solver the paper evaluates, on a common sampling API.
+//!
+//! * [`random`] — the uniform random-cut baseline (red ✕ curves).
+//! * [`gw`] — the software Goemans–Williamson pipeline: Burer–Monteiro SDP
+//!   (rank 4, §IV.A) plus Gaussian/hyperplane rounding (green ▲ curves).
+//! * [`trevisan`] — the Trevisan "simple spectral" algorithm: minimum
+//!   eigenvector of `I + D^{-1/2} A D^{-1/2}`, sign-thresholded (§II.B).
+//! * [`circuits`] — **LIF-GW** (Fig. 1) and **LIF-Trevisan** (Fig. 2), the
+//!   neuromorphic circuits (blue ● and orange ■ curves).
+//! * [`exact`] — Gray-code brute force and branch-and-bound, for ground
+//!   truth on small instances.
+//! * [`anneal`] — simulated annealing, the software version of the
+//!   hardware Ising-machine baseline class the paper positions against.
+//! * [`weighted`] — the full stack on weighted graphs (two Table-I
+//!   networks are weighted).
+//! * [`greedy`] — 1-opt local search, an additional classical baseline.
+//! * [`sampling`] — the [`CutSampler`] trait, best-so-far traces at
+//!   logarithmic checkpoints (the x-axis of Figs. 3–4), and a deterministic
+//!   parallel sampling runner.
+//! * [`extensions`] — MAX2SAT and MAXDICUT via the same SDP + rounding
+//!   machinery, the generalization sketched in the Discussion (§VI).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod anneal;
+pub mod circuits;
+pub mod exact;
+pub mod extensions;
+pub mod greedy;
+pub mod gw;
+pub mod random;
+pub mod sampling;
+pub mod stats;
+pub mod trevisan;
+pub mod weighted;
+
+pub use circuits::lif_gw::{LifGwCircuit, LifGwConfig};
+pub use circuits::lif_trevisan::{LifTrevisanCircuit, LifTrevisanConfig};
+pub use gw::{solve_gw, GwConfig, GwSampler, GwSolution};
+pub use random::RandomCutSampler;
+pub use sampling::{
+    log2_checkpoints, parallel_best_traces, sample_best_trace, BestTrace, CutSampler,
+};
+pub use trevisan::{solve_trevisan, SpectralRounding, TrevisanConfig, TrevisanSolution};

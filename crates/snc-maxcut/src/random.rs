@@ -1,0 +1,57 @@
+//! The uniform random-cut baseline (the paper's red ✕ curves).
+//!
+//! Every vertex independently lands on either side with probability 1/2.
+//! In expectation this cuts `m/2` edges — the 0.5-approximation that all
+//! serious algorithms must beat.
+
+use crate::sampling::CutSampler;
+use snc_devices::Xoshiro256pp;
+use snc_graph::CutAssignment;
+
+/// A sampler producing uniformly random cuts.
+#[derive(Clone, Debug)]
+pub struct RandomCutSampler {
+    n: usize,
+    rng: Xoshiro256pp,
+}
+
+impl RandomCutSampler {
+    /// Creates a sampler for graphs with `n` vertices.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self {
+            n,
+            rng: Xoshiro256pp::new(seed),
+        }
+    }
+}
+
+impl CutSampler for RandomCutSampler {
+    fn next_cut(&mut self) -> CutAssignment {
+        CutAssignment::random(self.n, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snc_graph::generators::structured::complete;
+
+    #[test]
+    fn mean_cut_is_half_the_edges() {
+        let g = complete(12); // m = 66
+        let mut s = RandomCutSampler::new(12, 3);
+        let samples = 4000;
+        let total: u64 = (0..samples).map(|_| s.next_cut().cut_value(&g)).sum();
+        let mean = total as f64 / samples as f64;
+        assert!((mean - 33.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = RandomCutSampler::new(10, 42);
+        let mut b = RandomCutSampler::new(10, 42);
+        for _ in 0..20 {
+            assert_eq!(a.next_cut(), b.next_cut());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Aggregation statistics for experiment curves.
+//!
+//! Figure 3 plots the mean ± standard error over 10 independently generated
+//! graphs per panel; these helpers compute exactly those aggregates from
+//! per-graph relative traces.
+
+/// Mean and standard error of the mean (SEM) of a sample.
+///
+/// Returns `(0, 0)` for an empty slice and SEM 0 for a single value.
+pub fn mean_sem(values: &[f64]) -> (f64, f64) {
+    let n = values.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    (mean, (var / n as f64).sqrt())
+}
+
+/// An aggregated best-so-far curve: per-checkpoint mean ± SEM across
+/// replicate graphs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregateCurve {
+    /// Sample-count checkpoints.
+    pub checkpoints: Vec<u64>,
+    /// Mean relative value per checkpoint.
+    pub mean: Vec<f64>,
+    /// SEM per checkpoint.
+    pub sem: Vec<f64>,
+}
+
+/// Aggregates several per-graph curves (all on the same checkpoint grid).
+///
+/// # Panics
+///
+/// Panics if curves are empty or grids mismatch.
+pub fn aggregate_curves(checkpoints: &[u64], curves: &[Vec<f64>]) -> AggregateCurve {
+    assert!(!curves.is_empty(), "no curves to aggregate");
+    for c in curves {
+        assert_eq!(c.len(), checkpoints.len(), "curve/checkpoint mismatch");
+    }
+    let k = checkpoints.len();
+    let mut mean = Vec::with_capacity(k);
+    let mut sem = Vec::with_capacity(k);
+    let mut column = Vec::with_capacity(curves.len());
+    for j in 0..k {
+        column.clear();
+        column.extend(curves.iter().map(|c| c[j]));
+        let (m, s) = mean_sem(&column);
+        mean.push(m);
+        sem.push(s);
+    }
+    AggregateCurve {
+        checkpoints: checkpoints.to_vec(),
+        mean,
+        sem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_sem_basics() {
+        let (m, s) = mean_sem(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-15);
+        // var = 1, sem = 1/sqrt(3).
+        assert!((s - 1.0 / 3.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean_sem(&[]), (0.0, 0.0));
+        assert_eq!(mean_sem(&[5.0]), (5.0, 0.0));
+    }
+
+    #[test]
+    fn aggregate_shape_and_values() {
+        let cp = vec![1, 2, 4];
+        let curves = vec![vec![0.5, 0.7, 0.9], vec![0.7, 0.9, 1.1]];
+        let agg = aggregate_curves(&cp, &curves);
+        assert_eq!(agg.checkpoints, cp);
+        assert!((agg.mean[0] - 0.6).abs() < 1e-15);
+        assert!((agg.mean[2] - 1.0).abs() < 1e-15);
+        assert!(agg.sem.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_grid_panics() {
+        aggregate_curves(&[1, 2], &[vec![1.0]]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Weighted MAXCUT: the full solver stack on weighted graphs.
+//!
+//! The paper's formulation (§II.A) is already weighted (`A_ij` is any
+//! adjacency matrix), and two of its Table-I networks are weighted. This
+//! module runs every solver on [`WeightedGraph`]s:
+//!
+//! * [`solve_gw_weighted`] — the GW SDP with weighted couplings; the
+//!   factor matrix feeds the same [`GwSampler`](crate::GwSampler)/[`LifGwCircuit`](crate::LifGwCircuit)
+//!   machinery unchanged (rounding only looks at the factors).
+//! * [`solve_trevisan_weighted`] — minimum eigenvector of the *weighted*
+//!   Trevisan matrix `I + D_w^{-1/2} A_w D_w^{-1/2}`.
+//! * [`WeightedLifTrevisanCircuit`] — the LIF-TR circuit programmed with
+//!   the weighted Trevisan matrix.
+//! * [`brute_force_weighted`] — exact ground truth for small instances.
+//! * [`sample_best_trace_weighted`] — best-so-far traces with `f64` cut
+//!   values.
+
+use crate::circuits::lif_trevisan::LifTrevisanConfig;
+use crate::sampling::CutSampler;
+use snc_graph::weighted::WeightedTrevisanOperator;
+use snc_graph::{CutAssignment, WeightedGraph};
+use snc_linalg::eigen::{extreme_eigenpair, Which};
+use snc_linalg::{sdp, LinalgError, SdpConfig};
+use snc_neuro::TwoStageNetwork;
+
+/// Best-so-far weighted cut values at sample-count checkpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedBestTrace {
+    /// Sample counts (ascending).
+    pub checkpoints: Vec<u64>,
+    /// Best weighted cut within the first `checkpoints[k]` samples.
+    pub best: Vec<f64>,
+}
+
+impl WeightedBestTrace {
+    /// The final best value.
+    pub fn final_best(&self) -> f64 {
+        self.best.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Draws samples and records the best weighted cut at each checkpoint.
+///
+/// # Panics
+///
+/// Panics if `checkpoints` is not strictly ascending.
+pub fn sample_best_trace_weighted(
+    sampler: &mut impl CutSampler,
+    graph: &WeightedGraph,
+    checkpoints: &[u64],
+) -> WeightedBestTrace {
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly ascending"
+    );
+    let mut best = f64::NEG_INFINITY;
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut drawn = 0u64;
+    for &cp in checkpoints {
+        while drawn < cp {
+            let cut = sampler.next_cut();
+            best = best.max(graph.cut_value(&cut));
+            drawn += 1;
+        }
+        out.push(if best.is_finite() { best } else { 0.0 });
+    }
+    WeightedBestTrace {
+        checkpoints: checkpoints.to_vec(),
+        best: out,
+    }
+}
+
+/// Result of the weighted GW SDP.
+#[derive(Clone, Debug)]
+pub struct WeightedGwSolution {
+    /// The `n × r` factor matrix.
+    pub factors: snc_linalg::DMatrix,
+    /// SDP upper bound on the weighted maximum cut.
+    pub sdp_bound: f64,
+}
+
+/// Solves the weighted GW SDP.
+///
+/// # Errors
+///
+/// Propagates SDP solver errors.
+pub fn solve_gw_weighted(
+    graph: &WeightedGraph,
+    cfg: &SdpConfig,
+) -> Result<WeightedGwSolution, LinalgError> {
+    let couplings: Vec<sdp::Coupling> = graph
+        .edges()
+        .map(|(i, j, w)| sdp::Coupling { i, j, w })
+        .collect();
+    let sol = sdp::solve_weighted_sdp(graph.n(), &couplings, cfg)?;
+    let sdp_bound = sol.cut_upper_bound(graph.total_weight());
+    Ok(WeightedGwSolution {
+        factors: sol.factors,
+        sdp_bound,
+    })
+}
+
+/// Result of the weighted Trevisan spectral solver.
+#[derive(Clone, Debug)]
+pub struct WeightedTrevisanSolution {
+    /// The minimum eigenvector of the weighted Trevisan matrix.
+    pub eigenvector: Vec<f64>,
+    /// Its eigenvalue.
+    pub eigenvalue: f64,
+    /// The sign-rounded cut and its weighted value.
+    pub cut: CutAssignment,
+    /// The weighted cut value.
+    pub value: f64,
+}
+
+/// Runs the weighted Trevisan simple spectral algorithm.
+///
+/// # Errors
+///
+/// Returns an error for negative weights or eigensolver non-convergence.
+pub fn solve_trevisan_weighted(
+    graph: &WeightedGraph,
+    eigen: &snc_linalg::eigen::EigenConfig,
+) -> Result<WeightedTrevisanSolution, Box<dyn std::error::Error>> {
+    let op = WeightedTrevisanOperator::new(graph)?;
+    let pair = extreme_eigenpair(&op, Which::Smallest, eigen)?;
+    let cut = CutAssignment::from_signs(&pair.vector);
+    let value = graph.cut_value(&cut);
+    Ok(WeightedTrevisanSolution {
+        eigenvector: pair.vector,
+        eigenvalue: pair.value,
+        cut,
+        value,
+    })
+}
+
+/// The LIF-Trevisan circuit on a weighted graph: identical dynamics, with
+/// the weighted Trevisan matrix as the synaptic program.
+#[derive(Clone, Debug)]
+pub struct WeightedLifTrevisanCircuit {
+    net: TwoStageNetwork,
+    updates_per_sample: u64,
+}
+
+impl WeightedLifTrevisanCircuit {
+    /// Builds the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has negative weights.
+    pub fn new(graph: &WeightedGraph, seed: u64, cfg: &LifTrevisanConfig) -> Self {
+        let net = TwoStageNetwork::new_weighted(graph, seed, cfg.network);
+        Self {
+            net,
+            updates_per_sample: cfg.updates_per_sample.max(1),
+        }
+    }
+
+    /// The current plastic weight vector.
+    pub fn readout_weights(&self) -> &[f64] {
+        self.net.readout_weights()
+    }
+}
+
+impl CutSampler for WeightedLifTrevisanCircuit {
+    fn next_cut(&mut self) -> CutAssignment {
+        self.net.run_updates(self.updates_per_sample);
+        CutAssignment::from_signs(self.net.readout_weights())
+    }
+}
+
+/// Exact weighted maximum cut by enumeration (`n ≤ 26`).
+///
+/// # Panics
+///
+/// Panics for more than 26 vertices.
+pub fn brute_force_weighted(graph: &WeightedGraph) -> (CutAssignment, f64) {
+    let n = graph.n();
+    assert!(n <= 26, "weighted brute force limited to n <= 26");
+    if n == 0 {
+        return (CutAssignment::all_ones(0), 0.0);
+    }
+    let mut best_value = f64::NEG_INFINITY;
+    let mut best_mask = 0u32;
+    for mask in 0u32..(1u32 << (n - 1)) {
+        let mut value = 0.0;
+        for (u, v, w) in graph.edges() {
+            let su = (mask >> u) & 1;
+            let sv = (mask >> v) & 1;
+            if su != sv {
+                value += w;
+            }
+        }
+        if value > best_value {
+            best_value = value;
+            best_mask = mask;
+        }
+    }
+    let sides: Vec<i8> = (0..n)
+        .map(|i| if (best_mask >> i) & 1 == 1 { 1 } else { -1 })
+        .collect();
+    (CutAssignment::from_sides(sides), best_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gw::GwSampler;
+    use crate::sampling::log2_checkpoints;
+    use snc_graph::generators::structured::{complete_bipartite, cycle};
+    use snc_graph::weighted::{randomize_weights, WeightDistribution};
+
+    fn weighted_fixture(seed: u64) -> WeightedGraph {
+        let base = snc_graph::generators::erdos_renyi::gnp(12, 0.5, seed).unwrap();
+        randomize_weights(&base, WeightDistribution::Uniform { lo: 0.5, hi: 3.0 }, seed).unwrap()
+    }
+
+    #[test]
+    fn brute_force_known_values() {
+        // Triangle with weights 2, 3, 0.5: best cut separates vertex 1
+        // (cuts 2 + 3 = 5).
+        let g =
+            WeightedGraph::from_weighted_edges(3, &[(0, 1, 2.0), (1, 2, 3.0), (0, 2, 0.5)])
+                .unwrap();
+        let (cut, v) = brute_force_weighted(&g);
+        assert!((v - 5.0).abs() < 1e-12);
+        assert!((g.cut_value(&cut) - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_weights_prefer_keeping_edges() {
+        // One positive, one strongly negative edge: the optimum cuts the
+        // positive edge only.
+        let g = WeightedGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, -5.0)]).unwrap();
+        let (cut, v) = brute_force_weighted(&g);
+        assert!((v - 1.0).abs() < 1e-12);
+        assert_eq!(cut.side(1), cut.side(2)); // negative edge uncut
+    }
+
+    #[test]
+    fn weighted_gw_meets_guarantee() {
+        for seed in 0..3u64 {
+            let g = weighted_fixture(seed);
+            let (_, opt) = brute_force_weighted(&g);
+            let sol = solve_gw_weighted(&g, &SdpConfig::default()).unwrap();
+            assert!(sol.sdp_bound + 1e-6 >= opt, "bound {} < {opt}", sol.sdp_bound);
+            let mut sampler = GwSampler::new(sol.factors, seed);
+            let trace = sample_best_trace_weighted(&mut sampler, &g, &log2_checkpoints(64));
+            assert!(
+                trace.final_best() >= 0.878 * opt,
+                "seed {seed}: {} < 0.878·{opt}",
+                trace.final_best()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_trevisan_solves_bipartite() {
+        let base = complete_bipartite(4, 4);
+        let g = randomize_weights(&base, WeightDistribution::Uniform { lo: 1.0, hi: 2.0 }, 7)
+            .unwrap();
+        let sol =
+            solve_trevisan_weighted(&g, &snc_linalg::eigen::EigenConfig::default()).unwrap();
+        assert!(sol.eigenvalue.abs() < 1e-6);
+        assert!((sol.value - g.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_matches_unweighted_on_unit_weights() {
+        let base = cycle(9);
+        let g = WeightedGraph::from_graph(&base);
+        let sol_w = solve_trevisan_weighted(&g, &snc_linalg::eigen::EigenConfig::default())
+            .unwrap();
+        let sol_u =
+            crate::trevisan::solve_trevisan(&base, &crate::trevisan::TrevisanConfig::default())
+                .unwrap();
+        assert!((sol_w.eigenvalue - sol_u.eigenvalue).abs() < 1e-6);
+        assert_eq!(sol_w.value as u64, sol_u.value);
+    }
+
+    #[test]
+    fn weighted_lif_tr_learns_bipartite() {
+        let base = complete_bipartite(3, 3);
+        let g = randomize_weights(&base, WeightDistribution::Uniform { lo: 0.5, hi: 1.5 }, 5)
+            .unwrap();
+        let mut circuit = WeightedLifTrevisanCircuit::new(&g, 3, &LifTrevisanConfig::default());
+        let trace = sample_best_trace_weighted(&mut circuit, &g, &log2_checkpoints(20_000));
+        assert!(
+            (trace.final_best() - g.total_weight()).abs() < 1e-9,
+            "reached {} of {}",
+            trace.final_best(),
+            g.total_weight()
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let g = weighted_fixture(9);
+        let sol = solve_gw_weighted(&g, &SdpConfig::default()).unwrap();
+        let mut sampler = GwSampler::new(sol.factors, 1);
+        let trace = sample_best_trace_weighted(&mut sampler, &g, &log2_checkpoints(32));
+        assert!(trace.best.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

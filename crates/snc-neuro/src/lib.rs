@@ -1,0 +1,45 @@
+//! Neuromorphic substrate: leaky integrate-and-fire neurons, synaptic
+//! weights, plasticity, and device-driven network assemblies.
+//!
+//! This crate implements §III of the paper ("Neuromorphic Concepts"):
+//!
+//! * [`lif`] — the LIF neuron `C dV/dt = −V/R + I_tot`, discretized with
+//!   either the exact exponential-Euler update or forward Euler.
+//! * [`population`] — vectors of LIF neurons stepped in lock-step with
+//!   threshold ("spike") readout and optional reset.
+//! * [`synapse`] — device→neuron weight matrices in dense column-major and
+//!   sparse CSC forms, with the `accumulate_active` kernel that turns a
+//!   binary device state vector into synaptic currents (the hot loop of
+//!   every circuit).
+//! * [`theory`] — closed-form stationary means and covariances of LIF
+//!   membranes driven by Bernoulli devices (§III.C: "the LIF membrane
+//!   covariances are a linear transformation of the covariances of the
+//!   random device pool"), used for threshold placement and verified
+//!   empirically in tests.
+//! * [`plasticity`] — Hebbian, Oja (principal component), and Oja
+//!   anti-Hebbian (minor component) rules; the last one drives the
+//!   LIF-Trevisan circuit (§III.D).
+//! * [`network`] — [`DeviceDrivenNetwork`] (pool → weights → LIF
+//!   population, the shared circuit motif of Figs. 1–2) and
+//!   [`TwoStageNetwork`] (the LIF-TR topology with a plastic readout
+//!   neuron).
+//! * [`parallel`] — replica execution across threads with deterministic
+//!   per-replica seeds.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lif;
+pub mod network;
+pub mod parallel;
+pub mod plasticity;
+pub mod population;
+pub mod spike;
+pub mod synapse;
+pub mod theory;
+
+pub use lif::{Integrator, LifParams, Reset};
+pub use network::{DeviceDrivenNetwork, PlasticitySignal, TwoStageConfig, TwoStageNetwork};
+pub use plasticity::{Hebbian, LearningRate, OjaMinor, OjaPrincipal, PlasticityRule};
+pub use population::LifPopulation;
+pub use synapse::{CscWeights, DenseWeights, InputWeights};

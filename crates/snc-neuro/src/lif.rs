@@ -1,0 +1,187 @@
+//! The leaky integrate-and-fire neuron model.
+//!
+//! Between spikes the membrane obeys `C dV/dt = −V/R + I_tot` (§III.B).
+//! Discretization over a step `Δt`:
+//!
+//! * **Exponential Euler** (exact for piecewise-constant input):
+//!   `V ← λV + (1−λ)·R·I` with `λ = exp(−Δt/τ)`, `τ = RC`.
+//! * **Forward Euler**: `V ← (1 − Δt/τ)·V + (Δt/C)·I`.
+//!
+//! Both preserve the paper's stationary mean `⟨V⟩ = R⟨I⟩`; their stationary
+//! covariances differ only in a scalar prefactor computed exactly in
+//! [`crate::theory`].
+
+/// Time-discretization scheme for the membrane ODE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Integrator {
+    /// `V ← e^{−Δt/τ} V + (1 − e^{−Δt/τ}) R I` — exact decay.
+    ExponentialEuler,
+    /// `V ← (1 − Δt/τ) V + (Δt/C) I` — first-order explicit.
+    ForwardEuler,
+}
+
+/// What happens to the membrane after a spike.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Reset {
+    /// No reset: the threshold acts as a pure statistical readout. This is
+    /// the default for the LIF-GW sampling circuit, where thresholding the
+    /// stationary Gaussian membrane *is* the Bertsimas–Ye sign rounding.
+    None,
+    /// Classic LIF: the membrane jumps to the given value after a spike.
+    ToValue(f64),
+}
+
+/// Membrane parameters shared by a population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LifParams {
+    /// Leak resistance `R` (Ω).
+    pub r: f64,
+    /// Membrane capacitance `C` (F).
+    pub c: f64,
+    /// Simulation time step `Δt` (s).
+    pub dt: f64,
+    /// Discretization scheme.
+    pub integrator: Integrator,
+}
+
+impl Default for LifParams {
+    fn default() -> Self {
+        // τ = 1 with Δt = τ/10: resolves the membrane dynamics while
+        // keeping the decorrelation horizon (≈ 5τ = 50 steps) short.
+        Self {
+            r: 1.0,
+            c: 1.0,
+            dt: 0.1,
+            integrator: Integrator::ExponentialEuler,
+        }
+    }
+}
+
+impl LifParams {
+    /// The membrane time constant `τ = RC`.
+    pub fn tau(&self) -> f64 {
+        self.r * self.c
+    }
+
+    /// The per-step decay multiplier on `V` (λ for exponential Euler,
+    /// `1 − Δt/τ` for forward Euler).
+    pub fn decay(&self) -> f64 {
+        match self.integrator {
+            Integrator::ExponentialEuler => (-self.dt / self.tau()).exp(),
+            Integrator::ForwardEuler => 1.0 - self.dt / self.tau(),
+        }
+    }
+
+    /// The per-step multiplier on the input current `I`.
+    pub fn input_gain(&self) -> f64 {
+        match self.integrator {
+            Integrator::ExponentialEuler => (1.0 - self.decay()) * self.r,
+            Integrator::ForwardEuler => self.dt / self.c,
+        }
+    }
+
+    /// Number of steps after which membrane autocorrelation drops below
+    /// `e^{-5}` — a safe spacing for approximately independent samples.
+    pub fn decorrelation_steps(&self) -> u64 {
+        let d = self.decay().abs().max(1e-12);
+        if d >= 1.0 {
+            return 1;
+        }
+        // Small epsilon guards against ceil(50.0 + 1e-15) = 51 artifacts.
+        (((-5.0 / d.ln()) - 1e-9).ceil() as u64).max(1)
+    }
+
+    /// Whether the discretization is stable (`|decay| < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.decay().abs() < 1.0 && self.dt > 0.0 && self.r > 0.0 && self.c > 0.0
+    }
+
+    /// One membrane update for a single neuron.
+    #[inline]
+    pub fn step_v(&self, v: f64, current: f64) -> f64 {
+        self.decay() * v + self.input_gain() * current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_stable() {
+        let p = LifParams::default();
+        assert!(p.is_stable());
+        assert!((p.tau() - 1.0).abs() < 1e-15);
+        assert!((p.decay() - (-0.1f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_input_decays_to_zero() {
+        let p = LifParams::default();
+        let mut v = 1.0;
+        for _ in 0..400 {
+            v = p.step_v(v, 0.0);
+        }
+        assert!(v.abs() < 1e-15);
+    }
+
+    #[test]
+    fn constant_input_converges_to_ri() {
+        // ⟨V⟩ = R·I for constant current, both integrators.
+        for integrator in [Integrator::ExponentialEuler, Integrator::ForwardEuler] {
+            let p = LifParams {
+                r: 2.0,
+                c: 0.5,
+                dt: 0.05,
+                integrator,
+            };
+            let mut v = 0.0;
+            for _ in 0..2000 {
+                v = p.step_v(v, 3.0);
+            }
+            assert!((v - 6.0).abs() < 1e-9, "{integrator:?}: v={v}");
+        }
+    }
+
+    #[test]
+    fn forward_euler_instability_detected() {
+        let p = LifParams {
+            r: 1.0,
+            c: 1.0,
+            dt: 2.5, // Δt > 2τ: decay < −1
+            integrator: Integrator::ForwardEuler,
+        };
+        assert!(!p.is_stable());
+    }
+
+    #[test]
+    fn exponential_euler_always_stable() {
+        let p = LifParams {
+            dt: 100.0,
+            ..LifParams::default()
+        };
+        assert!(p.is_stable());
+    }
+
+    #[test]
+    fn decorrelation_steps_scale_with_tau() {
+        let fast = LifParams::default(); // τ/Δt = 10 ⇒ ≈ 50 steps
+        assert_eq!(fast.decorrelation_steps(), 50);
+        let slow = LifParams {
+            dt: 0.01,
+            ..LifParams::default()
+        };
+        assert_eq!(slow.decorrelation_steps(), 500);
+    }
+
+    #[test]
+    fn integrators_agree_to_first_order() {
+        let pe = LifParams::default();
+        let pf = LifParams {
+            integrator: Integrator::ForwardEuler,
+            ..LifParams::default()
+        };
+        // decay differs at O(dt²).
+        assert!((pe.decay() - pf.decay()).abs() < pe.dt * pe.dt);
+    }
+}

@@ -1,0 +1,492 @@
+//! Device-driven network assemblies: the circuit motifs of Figs. 1 and 2.
+//!
+//! [`DeviceDrivenNetwork`] is the shared motif — a pool of stochastic
+//! devices feeding a LIF population through a weight matrix. Thresholds are
+//! placed at the analytic stationary means, so the spike/silent readout of
+//! a neuron is the sign of its centered (Gaussian) membrane potential.
+//!
+//! [`TwoStageNetwork`] adds the LIF-Trevisan second stage: a single readout
+//! neuron whose incoming weight vector is trained online with Oja's
+//! anti-Hebbian rule. "The output of this Stage-2 neuron is discarded; what
+//! matters is the weight vector w" (§IV.B) — the neuron is still simulated,
+//! faithfully, and its output is indeed ignored.
+
+use crate::lif::{LifParams, Reset};
+use crate::plasticity::{LearningRate, OjaMinor, PlasticityRule};
+use crate::population::LifPopulation;
+use crate::synapse::{CscWeights, InputWeights};
+use crate::theory;
+use snc_devices::{CommonCause, DeviceModel, DevicePool, PoolSpec};
+use snc_graph::Graph;
+use snc_linalg::vector;
+
+/// A pool of stochastic devices driving a LIF population through a weight
+/// matrix — the core circuit motif.
+#[derive(Clone, Debug)]
+pub struct DeviceDrivenNetwork<W: InputWeights> {
+    pool: DevicePool,
+    weights: W,
+    population: LifPopulation,
+    current: Vec<f64>,
+    means: Vec<f64>,
+}
+
+impl<W: InputWeights> DeviceDrivenNetwork<W> {
+    /// Assembles the motif: thresholds are set to the analytic stationary
+    /// means and membranes start at those means (the circuit begins at
+    /// statistical equilibrium).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool size differs from the weight matrix's device
+    /// count.
+    pub fn new(pool: DevicePool, weights: W, params: LifParams, reset: Reset) -> Self {
+        assert_eq!(
+            pool.len(),
+            weights.devices(),
+            "pool size must match weight columns"
+        );
+        let n = weights.neurons();
+        let mut population = LifPopulation::new(n, params, reset);
+        // Heterogeneous-device-aware means: ⟨V⟩ = mean_factor · W p.
+        let ps = pool.stationary_ps();
+        let mut means = vec![0.0; n];
+        weights.apply(&ps, &mut means);
+        let mf = theory::mean_factor(&params);
+        for m in &mut means {
+            *m *= mf;
+        }
+        population.set_thresholds(&means);
+        population.set_potentials(&means);
+        Self {
+            pool,
+            weights,
+            population,
+            current: vec![0.0; n],
+            means,
+        }
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> usize {
+        self.weights.neurons()
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.weights.devices()
+    }
+
+    /// The analytic stationary means (also the spike thresholds).
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &W {
+        &self.weights
+    }
+
+    /// Membrane potentials after the most recent step.
+    pub fn potentials(&self) -> &[f64] {
+        self.population.potentials()
+    }
+
+    /// Spike flags after the most recent step (V above its mean).
+    pub fn spiked(&self) -> &[bool] {
+        self.population.spiked()
+    }
+
+    /// Advances devices and membranes one time step; returns spike flags.
+    #[inline]
+    pub fn step(&mut self) -> &[bool] {
+        let states = self.pool.step();
+        self.weights.accumulate_active(states, &mut self.current);
+        self.population.step(&self.current)
+    }
+
+    /// Advances `k` steps (e.g. a decorrelation interval between samples).
+    pub fn step_many(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Writes the mean-centered membrane potentials into `out`.
+    pub fn centered_into(&self, out: &mut [f64]) {
+        self.population.centered_into(&self.means, out);
+    }
+}
+
+/// What stage-1 activity drives the plasticity rule.
+///
+/// The paper (Fig. 2 caption) says "the activity of the LIF neurons
+/// drives synaptic plasticity" — readable either as the analog membrane
+/// potentials or as the binary spike pattern. Both interpretations find
+/// the Trevisan cut; the spike reading is coarser (the covariance of sign
+/// variables is the arcsine-compressed Gaussian correlation, which
+/// preserves the bipartition structure but perturbs interior eigenvector
+/// values), and is exactly what a purely digital plasticity processor
+/// would see.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlasticitySignal {
+    /// Mean-centered membrane potentials (analog dendrites; default).
+    #[default]
+    CenteredPotential,
+    /// Spike pattern as ±1 (digital readout; `spiked ⇒ +1`).
+    SpikeSign,
+}
+
+/// Configuration for the LIF-Trevisan two-stage network.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoStageConfig {
+    /// Stage-1 membrane parameters.
+    pub lif: LifParams,
+    /// Stage-1 readout reset policy.
+    pub reset: Reset,
+    /// Learning-rate schedule for the anti-Hebbian rule.
+    pub learning_rate: LearningRate,
+    /// Apply a plasticity update every this many time steps (≥ 1).
+    /// Spacing updates by about a membrane time constant decorrelates the
+    /// plasticity samples.
+    pub plasticity_interval: u64,
+    /// Gain on the plasticity signal; `None` auto-normalizes so the signal
+    /// covariance has O(1) scale (an amplifier between the stages).
+    pub signal_gain: Option<f64>,
+    /// Scale of the device→neuron weights (the paper: only ratios matter).
+    pub weight_scale: f64,
+    /// Which stage-1 activity feeds the plasticity rule.
+    pub plasticity_signal: PlasticitySignal,
+}
+
+impl Default for TwoStageConfig {
+    fn default() -> Self {
+        Self {
+            lif: LifParams::default(),
+            reset: Reset::None,
+            learning_rate: LearningRate::Decay { eta0: 0.05, t0: 20_000.0 },
+            plasticity_interval: 10,
+            signal_gain: None,
+            weight_scale: 1.0,
+            plasticity_signal: PlasticitySignal::CenteredPotential,
+        }
+    }
+}
+
+/// The LIF-Trevisan circuit (Fig. 2): n devices → n LIF neurons (weights ∝
+/// the Trevisan matrix) → one plastic readout neuron trained with Oja's
+/// anti-Hebbian rule. The solution is read from the *weight vector*, not
+/// the output neuron.
+#[derive(Clone, Debug)]
+pub struct TwoStageNetwork {
+    stage1: DeviceDrivenNetwork<CscWeights>,
+    readout_weights: Vec<f64>,
+    rule: OjaMinor,
+    learning_rate: LearningRate,
+    plasticity_interval: u64,
+    stage2: LifPopulation,
+    centered: Vec<f64>,
+    gain: f64,
+    signal: PlasticitySignal,
+    steps: u64,
+    updates: u64,
+}
+
+impl TwoStageNetwork {
+    /// Builds the circuit for a graph with fair-coin devices.
+    pub fn new(graph: &Graph, seed: u64, config: TwoStageConfig) -> Self {
+        Self::with_devices(graph, DeviceModel::fair(), None, seed, config)
+    }
+
+    /// Builds the circuit for a *weighted* graph (weighted Trevisan matrix
+    /// as the synaptic program, fair-coin devices).
+    pub fn new_weighted(
+        graph: &snc_graph::WeightedGraph,
+        seed: u64,
+        config: TwoStageConfig,
+    ) -> Self {
+        let weights = CscWeights::trevisan_weighted(graph, config.weight_scale);
+        Self::from_weights(weights, DeviceModel::fair(), None, seed, config)
+    }
+
+    /// Builds the circuit with a custom device model and optional
+    /// common-cause correlation (for the robustness experiments).
+    pub fn with_devices(
+        graph: &Graph,
+        model: DeviceModel,
+        common_cause: Option<CommonCause>,
+        seed: u64,
+        config: TwoStageConfig,
+    ) -> Self {
+        let weights = CscWeights::trevisan(graph, config.weight_scale);
+        Self::from_weights(weights, model, common_cause, seed, config)
+    }
+
+    /// Builds the circuit from an explicit (square) synaptic weight matrix
+    /// whose spectral norm is at most `2·weight_scale` — the contract the
+    /// plasticity auto-gain relies on. Both Trevisan constructors satisfy
+    /// it by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight matrix is not square.
+    pub fn from_weights(
+        weights: CscWeights,
+        model: DeviceModel,
+        common_cause: Option<CommonCause>,
+        seed: u64,
+        config: TwoStageConfig,
+    ) -> Self {
+        assert_eq!(
+            weights.neurons(),
+            weights.devices(),
+            "two-stage circuit needs one device per neuron"
+        );
+        let n = weights.neurons();
+        let mut spec = PoolSpec::uniform(model, n);
+        if let Some(cc) = common_cause {
+            spec = spec.with_common_cause(cc);
+        }
+        let pool = DevicePool::new(spec, seed);
+        let stage1 = DeviceDrivenNetwork::new(pool, weights, config.lif, config.reset);
+
+        // Auto-gain: Oja's minor-component rule is stable only when the
+        // input covariance spectrum lies strictly below 1 (the radial
+        // direction of the flow is stable iff λ < 1, and components in
+        // eigendirections with λ > 1 self-amplify). The centered membranes
+        // have Cov = κ·scale²·M², and the Trevisan matrix obeys the
+        // deterministic bound ‖M‖₂ ≤ 2, so a gain of √0.9 / (2·scale·√κ)
+        // pins λ_max(Cov of the plasticity signal) ≤ 0.9 — stable with no
+        // spectrum estimation, exactly the kind of fixed analog
+        // attenuation a hardware implementation would bake in.
+        let gain = config.signal_gain.unwrap_or_else(|| match config.plasticity_signal {
+            PlasticitySignal::CenteredPotential => {
+                let kappa = theory::kappa(&config.lif, 0.5).max(1e-300);
+                0.9f64.sqrt() / (2.0 * config.weight_scale.abs().max(1e-300) * kappa.sqrt())
+            }
+            // Sign variables have unit variance; their correlation matrix
+            // is the arcsine compression of the Gaussian one, whose
+            // spectral norm stays below ‖M‖²/min diag(M²) ≤ 4, so the same
+            // factor-2 attenuation keeps Oja's rule stable.
+            PlasticitySignal::SpikeSign => 0.9f64.sqrt() / 2.0,
+        });
+
+        // Deterministic random unit start for the plastic vector.
+        let mut readout_weights: Vec<f64> = {
+            use snc_devices::{Rng64, Xoshiro256pp};
+            let mut rng = Xoshiro256pp::new(seed ^ 0x0DA2);
+            (0..n).map(|_| rng.next_f64() - 0.5).collect()
+        };
+        if vector::normalize(&mut readout_weights) == 0.0 {
+            readout_weights[0] = 1.0;
+        }
+
+        Self {
+            stage1,
+            readout_weights,
+            rule: OjaMinor,
+            learning_rate: config.learning_rate,
+            plasticity_interval: config.plasticity_interval.max(1),
+            stage2: LifPopulation::new(1, config.lif, Reset::None),
+            centered: vec![0.0; n],
+            gain,
+            signal: config.plasticity_signal,
+            steps: 0,
+            updates: 0,
+        }
+    }
+
+    /// Number of graph vertices / stage-1 neurons.
+    pub fn n(&self) -> usize {
+        self.stage1.neurons()
+    }
+
+    /// Total time steps simulated.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Plasticity updates applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The plastic readout weight vector `w` — sign-thresholding it gives
+    /// the circuit's current cut hypothesis.
+    pub fn readout_weights(&self) -> &[f64] {
+        &self.readout_weights
+    }
+
+    /// The stage-1 network (for inspection).
+    pub fn stage1(&self) -> &DeviceDrivenNetwork<CscWeights> {
+        &self.stage1
+    }
+
+    /// Advances one time step; applies plasticity on schedule. Returns the
+    /// stage-2 activation `y` when an update happened.
+    pub fn step(&mut self) -> Option<f64> {
+        self.stage1.step();
+        self.steps += 1;
+        if !self.steps.is_multiple_of(self.plasticity_interval) {
+            return None;
+        }
+        match self.signal {
+            PlasticitySignal::CenteredPotential => {
+                self.stage1.centered_into(&mut self.centered);
+            }
+            PlasticitySignal::SpikeSign => {
+                for (c, &spiked) in self.centered.iter_mut().zip(self.stage1.spiked()) {
+                    *c = if spiked { 1.0 } else { -1.0 };
+                }
+            }
+        }
+        if self.gain != 1.0 {
+            vector::scale(&mut self.centered, self.gain);
+        }
+        let eta = self.learning_rate.at(self.updates);
+        let y = self.rule.update(&mut self.readout_weights, &self.centered, eta);
+        self.updates += 1;
+        // Synaptic saturation guard: physical weights cannot grow without
+        // bound, so clamp a (rare, transient) runaway back to unit norm,
+        // and restart from a fixed direction on numerical wipe-out.
+        let norm2 = vector::norm_sq(&self.readout_weights);
+        if !norm2.is_finite() {
+            for (i, w) in self.readout_weights.iter_mut().enumerate() {
+                *w = if i == 0 { 1.0 } else { 0.0 };
+            }
+        } else if norm2 > 4.0 {
+            vector::scale(&mut self.readout_weights, 1.0 / norm2.sqrt());
+        }
+        // Stage-2 neuron: receives the readout current; its spikes are
+        // deliberately ignored (§IV.B).
+        self.stage2.step(&[y]);
+        Some(y)
+    }
+
+    /// Runs until `updates` plasticity updates have been applied.
+    pub fn run_updates(&mut self, updates: u64) {
+        let target = self.updates + updates;
+        while self.updates < target {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synapse::DenseWeights;
+    use snc_graph::generators::structured::{complete_bipartite, cycle};
+    use snc_linalg::DMatrix;
+
+    fn fair_pool(r: usize, seed: u64) -> DevicePool {
+        DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), r), seed)
+    }
+
+    #[test]
+    fn network_dimensions_and_means() {
+        let w = DenseWeights::from_matrix_scaled(
+            &DMatrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5]]),
+            1.0,
+        );
+        let net = DeviceDrivenNetwork::new(fair_pool(2, 1), w, LifParams::default(), Reset::None);
+        assert_eq!(net.neurons(), 2);
+        assert_eq!(net.devices(), 2);
+        // mean = R · p · row_sum = 1 · 0.5 · rowsum.
+        assert!((net.means()[0] - 0.5).abs() < 1e-12);
+        assert!((net.means()[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spike_rate_is_half_at_mean_threshold() {
+        // Threshold at the stationary mean ⇒ spike probability ≈ 1/2.
+        let w = DenseWeights::from_matrix_scaled(
+            &DMatrix::from_rows(&[&[1.0, 0.3, -0.4], &[-0.2, 0.8, 0.1]]),
+            1.0,
+        );
+        let mut net =
+            DeviceDrivenNetwork::new(fair_pool(3, 2), w, LifParams::default(), Reset::None);
+        net.step_many(500); // warmup
+        let mut counts = [0u32; 2];
+        let steps = 20_000;
+        for _ in 0..steps {
+            // Space samples a decorrelation interval apart.
+            net.step_many(10);
+            let s = net.step();
+            counts[0] += s[0] as u32;
+            counts[1] += s[1] as u32;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / steps as f64;
+            assert!((rate - 0.5).abs() < 0.05, "neuron {i} rate {rate}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size")]
+    fn mismatched_pool_panics() {
+        let w = DenseWeights::from_matrix_scaled(&DMatrix::from_rows(&[&[1.0, 0.0]]), 1.0);
+        let _ = DeviceDrivenNetwork::new(fair_pool(3, 1), w, LifParams::default(), Reset::None);
+    }
+
+    #[test]
+    fn two_stage_learns_bipartite_cut() {
+        // On K_{3,3} the Trevisan minimum eigenvector separates the parts;
+        // the learned weight vector's signs must match the bipartition.
+        let g = complete_bipartite(3, 3);
+        let mut net = TwoStageNetwork::new(&g, 7, TwoStageConfig::default());
+        net.run_updates(30_000);
+        let w = net.readout_weights();
+        let side0: Vec<bool> = w.iter().map(|&x| x > 0.0).collect();
+        // All of part A on one side, part B on the other.
+        assert_eq!(side0[0], side0[1]);
+        assert_eq!(side0[0], side0[2]);
+        assert_eq!(side0[3], side0[4]);
+        assert_eq!(side0[3], side0[5]);
+        assert_ne!(side0[0], side0[3], "w = {w:?}");
+        // Norm stabilized near 1.
+        assert!((vector::norm(w) - 1.0).abs() < 0.2, "norm={}", vector::norm(w));
+    }
+
+    #[test]
+    fn two_stage_bookkeeping() {
+        let g = cycle(6);
+        let mut net = TwoStageNetwork::new(&g, 3, TwoStageConfig::default());
+        assert_eq!(net.n(), 6);
+        net.run_updates(5);
+        assert_eq!(net.updates(), 5);
+        assert_eq!(net.steps(), 5 * 10); // default plasticity_interval = 10
+    }
+
+    #[test]
+    fn spike_sign_plasticity_learns_bipartite_cut() {
+        // The digital reading of "LIF activity drives plasticity": the
+        // Oja rule sees only ±1 spike patterns, whose arcsine-compressed
+        // covariance preserves the bipartition eigenstructure exactly on
+        // bipartite graphs.
+        let g = complete_bipartite(3, 3);
+        let cfg = TwoStageConfig {
+            plasticity_signal: PlasticitySignal::SpikeSign,
+            ..TwoStageConfig::default()
+        };
+        let mut net = TwoStageNetwork::new(&g, 17, cfg);
+        net.run_updates(30_000);
+        let w = net.readout_weights();
+        let side0: Vec<bool> = w.iter().map(|&x| x > 0.0).collect();
+        assert_eq!(side0[0], side0[1]);
+        assert_eq!(side0[0], side0[2]);
+        assert_eq!(side0[3], side0[4]);
+        assert_eq!(side0[3], side0[5]);
+        assert_ne!(side0[0], side0[3], "w = {w:?}");
+    }
+
+    #[test]
+    fn two_stage_deterministic() {
+        let g = cycle(8);
+        let mut a = TwoStageNetwork::new(&g, 11, TwoStageConfig::default());
+        let mut b = TwoStageNetwork::new(&g, 11, TwoStageConfig::default());
+        a.run_updates(100);
+        b.run_updates(100);
+        assert_eq!(a.readout_weights(), b.readout_weights());
+    }
+}

@@ -1,0 +1,106 @@
+//! Parallel replica execution.
+//!
+//! Sampling from a stochastic circuit is embarrassingly parallel: replicas
+//! of the same network with different device seeds explore independent
+//! sample streams (the hardware analogy is simply more circuits). This
+//! module runs `count` replicas across `threads` OS threads with
+//! deterministic results: replica `i` always computes `f(i)`, so the output
+//! is invariant to the thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0), …, f(count−1)` across at most `threads` worker threads and
+/// returns the results in index order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven replica
+/// costs balance automatically. `threads == 1` degenerates to a plain loop.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_replicas<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(count);
+    if threads == 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed index")
+        })
+        .collect()
+}
+
+/// A sensible default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = run_replicas(16, 4, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let a = run_replicas(9, 1, |i| i as u64 + 100);
+        let b = run_replicas(9, 3, |i| i as u64 + 100);
+        let c = run_replicas(9, 32, |i| i as u64 + 100);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(run_replicas(0, 4, |i| i).is_empty());
+        assert_eq!(run_replicas(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Replica 0 is heavy; others light. All must complete.
+        let out = run_replicas(8, 4, |i| {
+            if i == 0 {
+                (0..200_000u64).sum::<u64>()
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[3], 3);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

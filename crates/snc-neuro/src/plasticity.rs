@@ -1,0 +1,211 @@
+//! Synaptic plasticity rules (§III.D).
+//!
+//! The Hebbian principle ("neurons that fire together, wire together")
+//! gives `Δw = y·x`, which is unstable. Oja's modification
+//! `Δw = y·(x − y·w)` self-normalizes and converges to the *principal*
+//! eigenvector of `Cov(x)`. The anti-Hebbian variant used by the
+//! LIF-Trevisan circuit,
+//!
+//! ```text
+//! Δw = −y·x + (y² + 1 − wᵀw)·w
+//! ```
+//!
+//! converges to the *minor* (minimum-eigenvalue) eigenvector (Oja 1992),
+//! which is exactly the vector Trevisan's simple spectral algorithm
+//! thresholds to produce a cut.
+
+use snc_linalg::vector;
+
+/// A learning-rate schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LearningRate {
+    /// Constant rate.
+    Constant(f64),
+    /// Robbins–Monro style decay `η₀ / (1 + t/t₀)`.
+    Decay {
+        /// Initial rate.
+        eta0: f64,
+        /// Decay time constant in updates.
+        t0: f64,
+    },
+}
+
+impl LearningRate {
+    /// The rate at update index `t`.
+    pub fn at(&self, t: u64) -> f64 {
+        match *self {
+            LearningRate::Constant(eta) => eta,
+            LearningRate::Decay { eta0, t0 } => eta0 / (1.0 + t as f64 / t0),
+        }
+    }
+}
+
+/// A plasticity rule updating a weight vector from a presynaptic activity
+/// vector. The postsynaptic activity `y = wᵀx` is computed internally and
+/// returned.
+pub trait PlasticityRule {
+    /// Applies one update `w ← w + η·Δw(x, y)` and returns `y`.
+    fn update(&self, w: &mut [f64], x: &[f64], eta: f64) -> f64;
+}
+
+/// Pure Hebbian rule `Δw = y·x` (unstable; kept as the textbook baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hebbian;
+
+impl PlasticityRule for Hebbian {
+    fn update(&self, w: &mut [f64], x: &[f64], eta: f64) -> f64 {
+        let y = vector::dot(w, x);
+        vector::axpy(eta * y, x, w);
+        y
+    }
+}
+
+/// Oja's rule `Δw = y·(x − y·w)`: converges to the principal eigenvector
+/// of `Cov(x)` with `‖w‖ → 1` (Oja 1982).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OjaPrincipal;
+
+impl PlasticityRule for OjaPrincipal {
+    fn update(&self, w: &mut [f64], x: &[f64], eta: f64) -> f64 {
+        let y = vector::dot(w, x);
+        // w += η (y x − y² w)
+        let y2 = y * y;
+        for (wi, &xi) in w.iter_mut().zip(x) {
+            *wi += eta * (y * xi - y2 * *wi);
+        }
+        y
+    }
+}
+
+/// Oja's anti-Hebbian minor-component rule
+/// `Δw = −y·x + (y² + 1 − wᵀw)·w` (Oja 1992): converges to the minimum
+/// eigenvector of `Cov(x)` with `‖w‖ → 1`. This is the learning rule of the
+/// LIF-Trevisan circuit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OjaMinor;
+
+impl PlasticityRule for OjaMinor {
+    fn update(&self, w: &mut [f64], x: &[f64], eta: f64) -> f64 {
+        let y = vector::dot(w, x);
+        let norm2 = vector::norm_sq(w);
+        let stabilizer = y * y + 1.0 - norm2;
+        for (wi, &xi) in w.iter_mut().zip(x) {
+            *wi += eta * (-y * xi + stabilizer * *wi);
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snc_linalg::eigen::jacobi::symmetric_eigen;
+    use snc_linalg::{Cholesky, DMatrix, GaussianSampler};
+
+    /// Draws zero-mean Gaussian samples with covariance C and trains a rule.
+    fn train(
+        rule: &impl PlasticityRule,
+        c: &DMatrix,
+        updates: u64,
+        lr: LearningRate,
+        seed: u64,
+    ) -> Vec<f64> {
+        let n = c.rows();
+        let ch = Cholesky::with_jitter(c, 1e-12).unwrap();
+        let mut gauss = GaussianSampler::new(seed);
+        let mut g = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        // Deterministic, slightly off-axis start.
+        let mut w: Vec<f64> = (0..n).map(|i| 0.5 + 0.1 * i as f64).collect();
+        vector::normalize(&mut w);
+        for t in 0..updates {
+            gauss.fill(&mut g);
+            ch.correlate_into(&g, &mut x);
+            rule.update(&mut w, &x, lr.at(t));
+        }
+        w
+    }
+
+    fn test_cov() -> DMatrix {
+        // Eigenvalues 3, 1, 0.2 with known eigenvectors.
+        DMatrix::from_rows(&[
+            &[2.0, 1.0, 0.0],
+            &[1.0, 2.0, 0.0],
+            &[0.0, 0.0, 0.2],
+        ])
+    }
+
+    #[test]
+    fn learning_rate_schedules() {
+        assert_eq!(LearningRate::Constant(0.1).at(1000), 0.1);
+        let d = LearningRate::Decay { eta0: 0.1, t0: 100.0 };
+        assert_eq!(d.at(0), 0.1);
+        assert!((d.at(100) - 0.05).abs() < 1e-12);
+        assert!(d.at(10_000) < 0.002);
+    }
+
+    #[test]
+    fn oja_principal_finds_top_eigenvector() {
+        let c = test_cov();
+        let (vals, vecs) = symmetric_eigen(&c).unwrap();
+        let top: Vec<f64> = (0..3).map(|i| vecs[(i, 2)]).collect();
+        assert!((vals[2] - 3.0).abs() < 1e-9);
+        let w = train(
+            &OjaPrincipal,
+            &c,
+            60_000,
+            LearningRate::Decay { eta0: 0.02, t0: 5_000.0 },
+            7,
+        );
+        let align = vector::alignment(&w, &top);
+        assert!(align > 0.99, "alignment={align}, w={w:?}");
+        assert!((vector::norm(&w) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn oja_minor_finds_bottom_eigenvector() {
+        let c = test_cov();
+        let (vals, vecs) = symmetric_eigen(&c).unwrap();
+        let bottom: Vec<f64> = (0..3).map(|i| vecs[(i, 0)]).collect();
+        assert!((vals[0] - 0.2).abs() < 1e-9);
+        let w = train(
+            &OjaMinor,
+            &c,
+            60_000,
+            LearningRate::Decay { eta0: 0.02, t0: 5_000.0 },
+            8,
+        );
+        let align = vector::alignment(&w, &bottom);
+        assert!(align > 0.99, "alignment={align}, w={w:?}");
+        assert!((vector::norm(&w) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn oja_minor_unit_norm_fixed_point() {
+        // At w = unit eigenvector, E[Δw] = 0 (μ ≠ 1 case uses ‖w‖ = 1).
+        let c = test_cov();
+        let (_, vecs) = symmetric_eigen(&c).unwrap();
+        let w0: Vec<f64> = (0..3).map(|i| vecs[(i, 0)]).collect();
+        // Expected update direction: −C w + (wᵀCw + 1 − ‖w‖²) w.
+        let cw = c.matvec(&w0);
+        let wtcw = vector::dot(&w0, &cw);
+        let mut expected: Vec<f64> = cw.iter().map(|&v| -v).collect();
+        vector::axpy(wtcw + 1.0 - 1.0, &w0, &mut expected);
+        assert!(vector::max_abs(&expected) < 1e-9);
+    }
+
+    #[test]
+    fn hebbian_grows_without_bound() {
+        let c = DMatrix::identity(2);
+        let w = train(&Hebbian, &c, 5_000, LearningRate::Constant(0.05), 9);
+        assert!(vector::norm(&w) > 10.0, "norm={}", vector::norm(&w));
+    }
+
+    #[test]
+    fn update_returns_projection() {
+        let mut w = vec![1.0, 0.0];
+        let y = OjaPrincipal.update(&mut w, &[2.0, 5.0], 0.0);
+        assert_eq!(y, 2.0);
+        assert_eq!(w, vec![1.0, 0.0]); // η = 0 leaves w unchanged
+    }
+}

@@ -1,0 +1,136 @@
+//! Spike rasters: bit-packed recordings of population spiking activity.
+
+/// A bit-packed spike raster for a fixed-size population.
+#[derive(Clone, Debug, Default)]
+pub struct SpikeRaster {
+    n: usize,
+    words_per_step: usize,
+    data: Vec<u64>,
+    steps: usize,
+}
+
+impl SpikeRaster {
+    /// Creates an empty raster for `n` neurons.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            words_per_step: n.div_ceil(64),
+            data: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> usize {
+        self.n
+    }
+
+    /// Number of recorded steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Appends one step of spike flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spiked.len() != neurons()`.
+    pub fn push(&mut self, spiked: &[bool]) {
+        assert_eq!(spiked.len(), self.n);
+        let base = self.data.len();
+        self.data.resize(base + self.words_per_step, 0);
+        for (i, &s) in spiked.iter().enumerate() {
+            if s {
+                self.data[base + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        self.steps += 1;
+    }
+
+    /// Whether neuron `i` spiked at step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `i` is out of range.
+    pub fn get(&self, t: usize, i: usize) -> bool {
+        assert!(t < self.steps && i < self.n);
+        (self.data[t * self.words_per_step + i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Extracts step `t` as a bool vector.
+    pub fn step_vec(&self, t: usize) -> Vec<bool> {
+        (0..self.n).map(|i| self.get(t, i)).collect()
+    }
+
+    /// Total spikes of neuron `i`.
+    pub fn count(&self, i: usize) -> usize {
+        (0..self.steps).filter(|&t| self.get(t, i)).count()
+    }
+
+    /// Firing rate of neuron `i` (spikes per step).
+    pub fn rate(&self, i: usize) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.count(i) as f64 / self.steps as f64
+        }
+    }
+
+    /// Population spike count at step `t`.
+    pub fn population_count(&self, t: usize) -> usize {
+        let base = t * self.words_per_step;
+        self.data[base..base + self.words_per_step]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut r = SpikeRaster::new(70); // crosses a word boundary
+        let mut step0 = vec![false; 70];
+        step0[0] = true;
+        step0[65] = true;
+        r.push(&step0);
+        r.push(&[true; 70]);
+        assert_eq!(r.steps(), 2);
+        assert!(r.get(0, 0));
+        assert!(!r.get(0, 1));
+        assert!(r.get(0, 65));
+        assert!(r.get(1, 69));
+        assert_eq!(r.population_count(0), 2);
+        assert_eq!(r.population_count(1), 70);
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let mut r = SpikeRaster::new(2);
+        r.push(&[true, false]);
+        r.push(&[true, false]);
+        r.push(&[false, false]);
+        assert_eq!(r.count(0), 2);
+        assert_eq!(r.count(1), 0);
+        assert!((r.rate(0) - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(SpikeRaster::new(3).rate(0), 0.0);
+    }
+
+    #[test]
+    fn step_vec_roundtrip() {
+        let mut r = SpikeRaster::new(5);
+        let pattern = vec![true, false, true, true, false];
+        r.push(&pattern);
+        assert_eq!(r.step_vec(0), pattern);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut r = SpikeRaster::new(3);
+        r.push(&[true]);
+    }
+}

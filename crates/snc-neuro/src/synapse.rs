@@ -1,0 +1,447 @@
+//! Device→neuron synaptic weight matrices.
+//!
+//! The circuits' hot loop is: read the binary device state vector
+//! `s ∈ {0,1}^r`, form the synaptic current `I = W s`, step the membranes.
+//! Because `s` is binary, `W s` is a sum of the *active columns* of `W` —
+//! so weights are stored column-major (dense) or CSC (sparse), making the
+//! kernel a sequence of contiguous column accumulations.
+//!
+//! * [`DenseWeights`] — for the LIF-GW circuit, whose weight matrix is the
+//!   dense `n × r` SDP factor matrix (r = 4 in the paper).
+//! * [`CscWeights`] — for the LIF-Trevisan circuit, whose weight matrix is
+//!   the sparse `n × n` Trevisan matrix `I + D^{-1/2} A D^{-1/2}`.
+
+use snc_graph::Graph;
+use snc_linalg::DMatrix;
+
+/// A device→neuron weight matrix supporting the binary-input kernel.
+pub trait InputWeights {
+    /// Number of neurons (rows).
+    fn neurons(&self) -> usize;
+    /// Number of devices (columns).
+    fn devices(&self) -> usize;
+    /// Computes `out = W · s` for a binary state vector `s` (as bools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len() != devices()` or `out.len() != neurons()`.
+    fn accumulate_active(&self, active: &[bool], out: &mut [f64]);
+    /// Computes `out = W · x` for a real-valued vector `x` (used with the
+    /// per-device stationary probabilities to place thresholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != devices()` or `out.len() != neurons()`.
+    fn apply(&self, x: &[f64], out: &mut [f64]);
+    /// Row sums `Σ_α W_iα` (needed for the analytic membrane means).
+    fn row_sums(&self) -> Vec<f64>;
+    /// The Gram matrix `W Wᵀ` (the covariance shape of the membranes).
+    fn gram(&self) -> DMatrix;
+}
+
+/// Dense column-major weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseWeights {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage: column `α` occupies `data[α·rows .. (α+1)·rows]`.
+    data: Vec<f64>,
+}
+
+impl DenseWeights {
+    /// Builds from a row-major matrix (`n × r`, one row per neuron), e.g.
+    /// the SDP factor matrix, with an overall scale applied.
+    ///
+    /// "The precise magnitudes of these weights are not critical; what
+    /// matter are their relative values" (§IV.A) — `scale` models the
+    /// hardware weight-range constraint.
+    pub fn from_matrix_scaled(m: &DMatrix, scale: f64) -> Self {
+        let rows = m.rows();
+        let cols = m.cols();
+        let mut data = vec![0.0; rows * cols];
+        for i in 0..rows {
+            let r = m.row(i);
+            for (alpha, &w) in r.iter().enumerate() {
+                data[alpha * rows + i] = w * scale;
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds from a closure over `(neuron, device)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = vec![0.0; rows * cols];
+        for alpha in 0..cols {
+            for i in 0..rows {
+                data[alpha * rows + i] = f(i, alpha);
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The weight from device `alpha` to neuron `i`.
+    pub fn get(&self, i: usize, alpha: usize) -> f64 {
+        self.data[alpha * self.rows + i]
+    }
+
+    /// Column `alpha` as a slice (all neurons' weights from one device).
+    pub fn column(&self, alpha: usize) -> &[f64] {
+        &self.data[alpha * self.rows..(alpha + 1) * self.rows]
+    }
+}
+
+impl InputWeights for DenseWeights {
+    fn neurons(&self) -> usize {
+        self.rows
+    }
+
+    fn devices(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn accumulate_active(&self, active: &[bool], out: &mut [f64]) {
+        assert_eq!(active.len(), self.cols);
+        assert_eq!(out.len(), self.rows);
+        out.fill(0.0);
+        for (alpha, &on) in active.iter().enumerate() {
+            if on {
+                let col = self.column(alpha);
+                for (o, &w) in out.iter_mut().zip(col) {
+                    *o += w;
+                }
+            }
+        }
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(out.len(), self.rows);
+        out.fill(0.0);
+        for (alpha, &xa) in x.iter().enumerate() {
+            if xa != 0.0 {
+                let col = self.column(alpha);
+                for (o, &w) in out.iter_mut().zip(col) {
+                    *o += w * xa;
+                }
+            }
+        }
+    }
+
+    fn row_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.rows];
+        for alpha in 0..self.cols {
+            for (s, &w) in sums.iter_mut().zip(self.column(alpha)) {
+                *s += w;
+            }
+        }
+        sums
+    }
+
+    fn gram(&self) -> DMatrix {
+        // W Wᵀ from column-major storage: accumulate outer products of
+        // columns' entries — equivalently convert to row-major and reuse.
+        let row_major = DMatrix::from_fn(self.rows, self.cols, |i, a| self.get(i, a));
+        row_major.gram_rows()
+    }
+}
+
+/// Sparse column-compressed weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CscWeights {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscWeights {
+    /// Builds the LIF-Trevisan weight matrix for a graph: the `n × n`
+    /// Trevisan matrix `I + D^{-1/2} A D^{-1/2}`, scaled by `scale`
+    /// (§IV.B: "connection weights between the random devices and the LIF
+    /// population … set proportional to the Trevisan matrix").
+    ///
+    /// Isolated vertices get only their diagonal entry.
+    pub fn trevisan(graph: &Graph, scale: f64) -> Self {
+        let n = graph.n();
+        let inv_sqrt: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = graph.degree(i);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / (d as f64).sqrt()
+                }
+            })
+            .collect();
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx: Vec<u32> = Vec::with_capacity(2 * graph.m() + n);
+        let mut values: Vec<f64> = Vec::with_capacity(2 * graph.m() + n);
+        col_ptr.push(0);
+        for j in 0..n {
+            // Column j of the symmetric matrix: diagonal + neighbors.
+            // Entries must be in increasing row order; neighbors are sorted
+            // so merge the diagonal in place.
+            let mut placed_diag = false;
+            for &i in graph.neighbors(j) {
+                let i = i as usize;
+                if !placed_diag && i > j {
+                    row_idx.push(j as u32);
+                    values.push(scale);
+                    placed_diag = true;
+                }
+                row_idx.push(i as u32);
+                values.push(scale * inv_sqrt[i] * inv_sqrt[j]);
+            }
+            if !placed_diag {
+                row_idx.push(j as u32);
+                values.push(scale);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Self {
+            rows: n,
+            cols: n,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Builds the weighted LIF-Trevisan weight matrix
+    /// `I + D_w^{-1/2} A_w D_w^{-1/2}` for a weighted graph, scaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has negative weights (the weighted Trevisan
+    /// matrix is only defined for non-negative weights).
+    pub fn trevisan_weighted(graph: &snc_graph::WeightedGraph, scale: f64) -> Self {
+        assert!(
+            graph.is_nonnegative(),
+            "weighted Trevisan matrix requires non-negative weights"
+        );
+        let n = graph.n();
+        let inv_sqrt: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = graph.weighted_degree(i);
+                if d <= 0.0 {
+                    0.0
+                } else {
+                    1.0 / d.sqrt()
+                }
+            })
+            .collect();
+        let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(2 * graph.m() + n);
+        for j in 0..n {
+            triplets.push((j as u32, j as u32, scale));
+            for (&i, &w) in graph.neighbors(j).iter().zip(graph.neighbor_weights(j)) {
+                triplets.push((i, j as u32, scale * w * inv_sqrt[i as usize] * inv_sqrt[j]));
+            }
+        }
+        Self::from_triplets(n, n, &triplets)
+    }
+
+    /// Builds from explicit triplets `(row, col, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        let mut sorted: Vec<(u32, u32, f64)> = triplets
+            .iter()
+            .map(|&(i, j, v)| {
+                assert!((i as usize) < rows && (j as usize) < cols, "triplet out of range");
+                (j, i, v)
+            })
+            .collect();
+        sorted.sort_by_key(|&(j, i, _)| (j, i));
+        let mut col_ptr = vec![0usize; cols + 1];
+        let mut row_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        for &(j, i, v) in &sorted {
+            col_ptr[j as usize + 1] += 1;
+            row_idx.push(i);
+            values.push(v);
+        }
+        for j in 0..cols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        Self {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Densifies (tests and small systems only).
+    pub fn to_dense(&self) -> DMatrix {
+        let mut m = DMatrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                m[(self.row_idx[k] as usize, j)] += self.values[k];
+            }
+        }
+        m
+    }
+}
+
+impl InputWeights for CscWeights {
+    fn neurons(&self) -> usize {
+        self.rows
+    }
+
+    fn devices(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn accumulate_active(&self, active: &[bool], out: &mut [f64]) {
+        assert_eq!(active.len(), self.cols);
+        assert_eq!(out.len(), self.rows);
+        out.fill(0.0);
+        for (alpha, &on) in active.iter().enumerate() {
+            if on {
+                for k in self.col_ptr[alpha]..self.col_ptr[alpha + 1] {
+                    out[self.row_idx[k] as usize] += self.values[k];
+                }
+            }
+        }
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(out.len(), self.rows);
+        out.fill(0.0);
+        for (alpha, &xa) in x.iter().enumerate() {
+            if xa != 0.0 {
+                for k in self.col_ptr[alpha]..self.col_ptr[alpha + 1] {
+                    out[self.row_idx[k] as usize] += self.values[k] * xa;
+                }
+            }
+        }
+    }
+
+    fn row_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.rows];
+        for k in 0..self.values.len() {
+            sums[self.row_idx[k] as usize] += self.values[k];
+        }
+        sums
+    }
+
+    fn gram(&self) -> DMatrix {
+        self.to_dense().gram_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snc_graph::generators::structured::{complete, cycle};
+
+    #[test]
+    fn dense_accumulate_matches_matvec() {
+        let m = DMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let w = DenseWeights::from_matrix_scaled(&m, 1.0);
+        assert_eq!(w.neurons(), 2);
+        assert_eq!(w.devices(), 3);
+        let mut out = vec![0.0; 2];
+        w.accumulate_active(&[true, false, true], &mut out);
+        assert_eq!(out, vec![4.0, 10.0]);
+        w.accumulate_active(&[false, false, false], &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_scaling_and_access() {
+        let m = DMatrix::from_rows(&[&[1.0, -1.0]]);
+        let w = DenseWeights::from_matrix_scaled(&m, 2.5);
+        assert_eq!(w.get(0, 0), 2.5);
+        assert_eq!(w.get(0, 1), -2.5);
+        assert_eq!(w.row_sums(), vec![0.0]);
+    }
+
+    #[test]
+    fn dense_gram_matches_dmatrix_gram() {
+        let m = DMatrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[0.0, 3.0]]);
+        let w = DenseWeights::from_matrix_scaled(&m, 1.0);
+        assert!(w.gram().max_abs_diff(&m.gram_rows()) < 1e-14);
+    }
+
+    #[test]
+    fn trevisan_matches_dense_reference() {
+        for g in [cycle(7), complete(5)] {
+            let w = CscWeights::trevisan(&g, 1.0);
+            let dense = g.trevisan_dense();
+            assert!(
+                w.to_dense().max_abs_diff(&dense) < 1e-14,
+                "trevisan CSC mismatch"
+            );
+            assert_eq!(w.nnz(), 2 * g.m() + g.n());
+        }
+    }
+
+    #[test]
+    fn trevisan_scaled() {
+        let g = cycle(5);
+        let w = CscWeights::trevisan(&g, 0.5);
+        let mut dense = g.trevisan_dense();
+        dense.scale(0.5);
+        assert!(w.to_dense().max_abs_diff(&dense) < 1e-14);
+    }
+
+    #[test]
+    fn trevisan_isolated_vertex() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let w = CscWeights::trevisan(&g, 1.0);
+        let d = w.to_dense();
+        assert_eq!(d[(2, 2)], 1.0);
+        assert_eq!(d[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn csc_accumulate_matches_dense() {
+        let g = cycle(6);
+        let w = CscWeights::trevisan(&g, 1.0);
+        let dense = w.to_dense();
+        let active = [true, false, true, true, false, true];
+        let x: Vec<f64> = active.iter().map(|&b| b as u8 as f64).collect();
+        let mut out = vec![0.0; 6];
+        w.accumulate_active(&active, &mut out);
+        let reference = dense.matvec(&x);
+        for (a, b) in out.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn csc_from_triplets() {
+        let w = CscWeights::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 5.0), (1, 0, -2.0)]);
+        let d = w.to_dense();
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(1, 0)], -2.0);
+        assert_eq!(d[(1, 2)], 5.0);
+        assert_eq!(w.row_sums(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn row_sums_agree_between_layouts() {
+        let g = cycle(8);
+        let csc = CscWeights::trevisan(&g, 1.0);
+        let dense_m = g.trevisan_dense();
+        let dense = DenseWeights::from_matrix_scaled(&dense_m, 1.0);
+        let a = csc.row_sums();
+        let b = dense.row_sums();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

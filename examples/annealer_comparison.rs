@@ -1,0 +1,73 @@
+//! Circuits vs. the Ising-machine algorithm class.
+//!
+//! The paper's introduction positions the neuromorphic circuits against
+//! hardware Ising annealers (refs [10], [11], [30]): "our contributions
+//! directly instantiate state-of-the-art MAXCUT approximation algorithms
+//! on arbitrary graphs without requiring costly reconfiguration or
+//! conversion of the problem to an Ising model". This example runs the
+//! software versions of that class — simulated annealing and parallel
+//! tempering — next to the GW pipeline and the LIF-GW circuit.
+//!
+//! ```text
+//! cargo run --release --example annealer_comparison
+//! ```
+
+use snc::snc_graph::generators::erdos_renyi::gnp;
+use snc::snc_maxcut::anneal::{
+    multistart_annealing, parallel_tempering, AnnealConfig, TemperingConfig,
+};
+use snc::snc_maxcut::{
+    gw, log2_checkpoints, sample_best_trace, GwConfig, GwSampler, LifGwCircuit, LifGwConfig,
+    RandomCutSampler,
+};
+
+fn main() {
+    println!(
+        "{:<16} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "graph", "n", "m", "SDP bound", "GW", "LIF-GW", "anneal", "tempering", "random"
+    );
+    for (n, p, seed) in [(60usize, 0.3f64, 1u64), (120, 0.25, 2), (200, 0.15, 3)] {
+        let graph = gnp(n, p, seed).expect("valid parameters");
+        let budget = 1024;
+        let checkpoints = log2_checkpoints(budget);
+
+        let sol = gw::solve_gw(&graph, &GwConfig::default()).expect("SDP converges");
+        let mut software = GwSampler::new(sol.factors.clone(), 10 + seed);
+        let gw_best = sample_best_trace(&mut software, &graph, &checkpoints).final_best();
+
+        let mut circuit = LifGwCircuit::new(&sol.factors, 20 + seed, &LifGwConfig::default());
+        let circuit_best = sample_best_trace(&mut circuit, &graph, &checkpoints).final_best();
+
+        let (_, anneal_best) = multistart_annealing(
+            &graph,
+            &AnnealConfig { seed: 30 + seed, ..AnnealConfig::default() },
+            4,
+        );
+        let (_, tempering_best) = parallel_tempering(
+            &graph,
+            &TemperingConfig { seed: 40 + seed, ..TemperingConfig::default() },
+        );
+
+        let mut random = RandomCutSampler::new(graph.n(), 50 + seed);
+        let random_best = sample_best_trace(&mut random, &graph, &checkpoints).final_best();
+
+        println!(
+            "{:<16} {:>6} {:>6} {:>10.1} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            format!("G({n},{p})"),
+            graph.n(),
+            graph.m(),
+            sol.sdp_bound,
+            gw_best,
+            circuit_best,
+            anneal_best,
+            tempering_best,
+            random_best
+        );
+    }
+    println!();
+    println!("Reading the table: annealers are strong local optimizers and often edge");
+    println!("out best-of-1024 GW sampling on these sizes — but they re-run from");
+    println!("scratch per instance, while the circuits' argument is architectural:");
+    println!("after programming the weights once, every hardware timestep emits a");
+    println!("fresh GW-quality sample with no iterative search at all.");
+}

@@ -1,0 +1,18 @@
+//! `snc` — Stochastic Neuromorphic Circuits for Solving MAXCUT.
+//!
+//! Umbrella crate re-exporting the whole workspace. See the individual
+//! crates for detail:
+//!
+//! * [`snc_devices`] — stochastic device models and RNG cores.
+//! * [`snc_linalg`] — dense linear algebra, eigensolvers, SDP.
+//! * [`snc_graph`] — graph substrate, generators, IO, cuts.
+//! * [`snc_neuro`] — LIF neurons, populations, synaptic plasticity.
+//! * [`snc_maxcut`] — MAXCUT solvers and the LIF-GW / LIF-Trevisan circuits.
+//! * [`snc_experiments`] — the harness regenerating the paper's figures.
+
+pub use snc_devices;
+pub use snc_experiments;
+pub use snc_graph;
+pub use snc_linalg;
+pub use snc_maxcut;
+pub use snc_neuro;

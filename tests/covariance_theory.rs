@@ -1,0 +1,121 @@
+//! E4: the central §III.C claim, end to end — a device-driven LIF
+//! population realizes membrane covariances proportional to the Gram
+//! matrix of its weight vectors, for both circuits' weight structures.
+
+use snc::snc_devices::{DeviceModel, DevicePool, PoolSpec};
+use snc::snc_graph::generators::structured::{complete_bipartite, cycle};
+use snc::snc_linalg::DMatrix;
+use snc::snc_maxcut::{gw, GwConfig};
+use snc::snc_neuro::theory;
+use snc::snc_neuro::{
+    CscWeights, DenseWeights, DeviceDrivenNetwork, InputWeights, LifParams, Reset,
+};
+
+/// Measures the empirical covariance of a network's membranes.
+fn empirical_covariance<W: InputWeights>(
+    net: &mut DeviceDrivenNetwork<W>,
+    steps: usize,
+    warmup: usize,
+) -> DMatrix {
+    let n = net.neurons();
+    for _ in 0..warmup {
+        net.step();
+    }
+    let means = net.means().to_vec();
+    let mut acc = DMatrix::zeros(n, n);
+    for _ in 0..steps {
+        net.step();
+        let v = net.potentials();
+        for i in 0..n {
+            let di = v[i] - means[i];
+            for j in i..n {
+                let val = di * (v[j] - means[j]);
+                acc[(i, j)] += val;
+            }
+        }
+    }
+    let inv = 1.0 / steps as f64;
+    let mut cov = DMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            cov[(i, j)] = acc[(i, j)] * inv;
+            cov[(j, i)] = cov[(i, j)];
+        }
+    }
+    cov
+}
+
+fn max_relative_error(emp: &DMatrix, theory: &DMatrix) -> f64 {
+    let scale = theory.frobenius().max(1e-12);
+    emp.max_abs_diff(theory) / scale * (theory.rows() as f64).sqrt()
+}
+
+#[test]
+fn lif_gw_covariance_matches_sdp_gram() {
+    // Wire the LIF-GW circuit for a real graph and verify Cov(V) = κ·WWᵀ
+    // where W is the SDP factor matrix.
+    let graph = complete_bipartite(3, 3);
+    let sol = gw::solve_gw(&graph, &GwConfig::default()).unwrap();
+    let params = LifParams::default();
+    let weights = DenseWeights::from_matrix_scaled(&sol.factors, 0.8);
+    let pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 4), 77);
+    let theory_cov = theory::stationary_covariance(&params, &weights, 0.5);
+    let mut net = DeviceDrivenNetwork::new(pool, weights, params, Reset::None);
+    let emp = empirical_covariance(&mut net, 300_000, 2_000);
+    let err = max_relative_error(&emp, &theory_cov);
+    assert!(err < 0.08, "relative covariance error {err}");
+    // The bipartite SDP solution has strongly anticorrelated parts.
+    assert!(theory_cov[(0, 3)] < 0.0);
+}
+
+#[test]
+fn lif_trevisan_covariance_is_m_squared() {
+    // The LIF-TR stage-1 covariance must be κ·M² for the Trevisan matrix M.
+    let graph = cycle(6);
+    let params = LifParams::default();
+    let weights = CscWeights::trevisan(&graph, 1.0);
+    let m = graph.trevisan_dense();
+    let mut m2 = m.matmul(&m).unwrap();
+    m2.scale(theory::kappa(&params, 0.5));
+    // theory::stationary_covariance uses the Gram (W Wᵀ = M² since M
+    // symmetric) — verify both agree with each other and with simulation.
+    let theory_cov = theory::stationary_covariance(&params, &weights, 0.5);
+    assert!(theory_cov.max_abs_diff(&m2) < 1e-10);
+
+    let pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 6), 13);
+    let mut net = DeviceDrivenNetwork::new(pool, weights, params, Reset::None);
+    let emp = empirical_covariance(&mut net, 300_000, 2_000);
+    let err = max_relative_error(&emp, &theory_cov);
+    assert!(err < 0.08, "relative covariance error {err}");
+}
+
+#[test]
+fn biased_devices_shift_means_as_predicted() {
+    // With p ≠ 0.5 the stationary means move to R·p·Σw; the network
+    // computes thresholds from the device pool's stationary_ps, so the
+    // spike rate stays ≈ 1/2.
+    let graph = cycle(5);
+    let weights = CscWeights::trevisan(&graph, 1.0);
+    let pool = DevicePool::new(
+        PoolSpec::uniform(DeviceModel::biased(0.8).unwrap(), 5),
+        21,
+    );
+    let params = LifParams::default();
+    let mut net = DeviceDrivenNetwork::new(pool, weights, params, Reset::None);
+    for _ in 0..2_000 {
+        net.step();
+    }
+    let mut spike_counts = [0u32; 5];
+    let samples = 20_000;
+    for _ in 0..samples {
+        net.step_many(9);
+        let s = net.step();
+        for (c, &b) in spike_counts.iter_mut().zip(s) {
+            *c += b as u32;
+        }
+    }
+    for (i, &c) in spike_counts.iter().enumerate() {
+        let rate = c as f64 / samples as f64;
+        assert!((rate - 0.5).abs() < 0.06, "neuron {i} rate {rate}");
+    }
+}

@@ -1,0 +1,95 @@
+//! IO round-trips across formats and the dataset substitution pathway
+//! (generated graph → file → reload → identical results).
+
+use snc::snc_graph::io::{self, Format};
+use snc::snc_graph::{generators, EmpiricalDataset, Graph};
+use snc::snc_maxcut::{exact, greedy};
+
+#[test]
+fn all_formats_roundtrip_all_dataset_shapes() {
+    // A representative shape from each generator family.
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("hamming", generators::hamming_graph(4, 2).unwrap()),
+        ("kneser", generators::kneser_graph(6, 2).unwrap()),
+        ("er", generators::gnp(40, 0.2, 3).unwrap()),
+        ("chunglu", generators::chung_lu(50, 120, 2.5, 4).unwrap()),
+        ("ws", generators::watts_strogatz(30, 4, 0.2, 5).unwrap()),
+        ("mesh", generators::banded(25, 3, 0).unwrap()),
+        ("knn", generators::knn_graph(30, 3, 6).unwrap()),
+    ];
+    let dir = std::env::temp_dir().join("snc_fmt_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, g) in &graphs {
+        for (format, ext) in [
+            (Format::EdgeList, "txt"),
+            (Format::Dimacs, "col"),
+            (Format::MatrixMarket, "mtx"),
+        ] {
+            let path = dir.join(format!("{name}.{ext}"));
+            io::save_graph(g, &path, format).unwrap();
+            let loaded = io::load_graph(&path).unwrap();
+            // DIMACS/MatrixMarket preserve n exactly; edge lists lose
+            // trailing isolated vertices, so compare structure over the
+            // common prefix.
+            assert_eq!(loaded.m(), g.m(), "{name}/{ext}");
+            let mut a: Vec<_> = g.edges().collect();
+            let mut b: Vec<_> = loaded.edges().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{name}/{ext}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn reloaded_graph_gives_identical_cuts() {
+    // The substitution pathway a user with the real files would take:
+    // save a dataset, reload it, confirm solvers see the same instance.
+    let g = EmpiricalDataset::SocDolphins.load().unwrap();
+    let path = std::env::temp_dir().join("snc_dolphins_standin.mtx");
+    io::save_graph(&g, &path, Format::MatrixMarket).unwrap();
+    let reloaded = io::load_graph(&path).unwrap();
+    assert_eq!(g, reloaded);
+    let (_, a) = greedy::local_search(&g, 9);
+    let (_, b) = greedy::local_search(&reloaded, 9);
+    assert_eq!(a, b);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn small_exact_instances_through_dimacs() {
+    // DIMACS is the native format of hamming/johnson instances; verify the
+    // exact reconstruction of hamming with a tiny variant survives a
+    // DIMACS round trip with identical MAXCUT value.
+    let g = generators::hamming_graph(4, 2).unwrap(); // n=16, deg 11
+    let path = std::env::temp_dir().join("snc_hamming4-2.col");
+    io::save_graph(&g, &path, Format::Dimacs).unwrap();
+    let reloaded = io::load_graph(&path).unwrap();
+    let (_, v1) = exact::branch_and_bound(&g);
+    let (_, v2) = exact::branch_and_bound(&reloaded);
+    assert_eq!(v1, v2);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dataset_metadata_is_coherent() {
+    for ds in EmpiricalDataset::all() {
+        let (n, m) = ds.size();
+        assert!(n >= 2);
+        assert!(m >= 1);
+        // Paper rows: every solver value is at most m only for the
+        // unweighted originals; the two weighted graphs are exempt.
+        let row = ds.paper_row();
+        let weighted = matches!(ds.name(), "inf-USAir97" | "eco-stmarks");
+        if !weighted && ds.name() != "ia-infect-dublin" {
+            // (ia-infect-dublin's NR edge count differs across versions;
+            // the stand-in uses one fixed reading.)
+            assert!(
+                row.random <= m as u64 || row.solver <= m as u64,
+                "{}: paper values vs m={m}",
+                ds.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Analytic spectral cross-checks spanning generator, operator, and
+//! eigensolver.
+//!
+//! The `hamming6-2` graph has adjacency `A = J − I − Q` where `J` is
+//! all-ones and `Q` is the 6-dimensional hypercube adjacency. Its
+//! eigenvectors are the Boolean characters `χ_S`; for `S ≠ ∅` the
+//! eigenvalue is `−1 − (6 − 2|S|)`, and for `S = ∅` it is `57`. The graph
+//! is 57-regular, so the normalized adjacency spectrum is those values
+//! divided by 57 — giving the *exact* minimum Trevisan eigenvalue
+//! `1 + (2·1 − 7)/57 = 1 − 5/57`.
+
+use snc::snc_graph::generators::{hamming_graph, kneser_graph};
+use snc::snc_graph::TrevisanOperator;
+use snc::snc_linalg::eigen::{extreme_eigenpair, EigenConfig, Which};
+
+#[test]
+fn hamming6_2_trevisan_minimum_eigenvalue_is_exact() {
+    let g = hamming_graph(6, 2).unwrap();
+    let op = TrevisanOperator::new(&g);
+    let pair = extreme_eigenpair(&op, Which::Smallest, &EigenConfig::default()).unwrap();
+    let expected = 1.0 - 5.0 / 57.0;
+    assert!(
+        (pair.value - expected).abs() < 1e-6,
+        "λ_min = {} expected {expected}",
+        pair.value
+    );
+    assert!(pair.residual < 1e-6);
+}
+
+#[test]
+fn hamming6_2_trevisan_maximum_eigenvalue_is_two() {
+    // The Perron eigenvalue of the normalized adjacency of any connected
+    // graph is 1, so I + N tops out at exactly 2.
+    let g = hamming_graph(6, 2).unwrap();
+    let op = TrevisanOperator::new(&g);
+    let pair = extreme_eigenpair(&op, Which::Largest, &EigenConfig::default()).unwrap();
+    assert!((pair.value - 2.0).abs() < 1e-7, "λ_max = {}", pair.value);
+    // Perron eigenvector of a regular graph is constant: all entries equal.
+    let first = pair.vector[0];
+    assert!(
+        pair.vector.iter().all(|&v| (v - first).abs() < 1e-5),
+        "Perron vector not constant"
+    );
+}
+
+#[test]
+fn kneser_16_2_spectrum_bounds() {
+    // K(16,2) is 91-regular with known Kneser eigenvalues
+    // (−1)^i · C(16−2−i, 2−i): {91, −13, 1}. Normalized minimum is
+    // −13/91 = −1/7, so the Trevisan minimum is exactly 6/7.
+    let g = kneser_graph(16, 2).unwrap();
+    let op = TrevisanOperator::new(&g);
+    let pair = extreme_eigenpair(&op, Which::Smallest, &EigenConfig::default()).unwrap();
+    let expected = 1.0 - 1.0 / 7.0;
+    assert!(
+        (pair.value - expected).abs() < 1e-6,
+        "λ_min = {} expected {expected}",
+        pair.value
+    );
+}
