@@ -44,7 +44,7 @@ pub fn run_fig4(
     let panels = runner.run(datasets.len(), "fig4", |idx| {
         let dataset = datasets[idx];
         let graph = dataset.load().expect("dataset construction");
-        let graph_seed = SplitMix64::derive(cfg.seed, 0xF1_64 ^ idx as u64);
+        let graph_seed = SplitMix64::derive(cfg.seed, 0xF164 ^ idx as u64);
         let traces = run_suite(&graph, cfg, graph_seed).expect("suite solver failure");
         GraphPanel { dataset, traces }
     });

@@ -279,7 +279,6 @@ mod tests {
             grad_tol: 1e-9,
             restarts: 2,
             seed: 17,
-            ..SdpConfig::default()
         }
     }
 

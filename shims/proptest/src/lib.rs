@@ -1,0 +1,169 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with the `#![proptest_config(…)]` inner
+//!   attribute form) expanding each property into a `#[test]` that runs
+//!   the body over `cases` generated inputs;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, plus
+//!   strategies for numeric ranges, tuples, [`collection::vec`], and
+//!   [`any`](arbitrary::any);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from real proptest, deliberately accepted: inputs are
+//! generated from a deterministic per-test seed (reproducible across runs
+//! and platforms, no persistence file needed), and failing cases are *not*
+//! shrunk — instead, a failure reports the property name, case index, and
+//! RNG seed (enough to replay the exact inputs), alongside whatever the
+//! assert message itself says. Swap
+//! the real crate back in via the workspace manifest when network access
+//! is available.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Derives the deterministic RNG seed for one test case.
+///
+/// Hashes the test name (FNV-1a) so distinct properties explore distinct
+/// input streams, then mixes in the case index.
+#[doc(hidden)]
+pub fn __seed_for(test_name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Expands property functions into `#[test]` functions that run the body
+/// over generated inputs.
+///
+/// Supported forms match the call sites in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in collection::vec(any::<bool>(), 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let __seed = $crate::__seed_for(stringify!($name), __case as u64);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let mut __rng =
+                                $crate::test_runner::TestRng::from_seed(__seed);
+                            $(
+                                let $pat = $crate::strategy::Strategy::generate(
+                                    &($strat),
+                                    &mut __rng,
+                                );
+                            )+
+                            $body
+                        }),
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest shim: property `{}` failed at case {}/{} (seed {:#018x})",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __seed,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -2.0f64..2.0, n in 1usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        /// Tuple, map, and vec strategies compose.
+        #[test]
+        fn composed(v in crate::collection::vec((0u32..5, 0u32..5), 0..20).prop_map(|p| p.len())) {
+            prop_assert!(v < 20);
+        }
+
+        /// `any` covers bool and integers.
+        #[test]
+        fn any_values(b in any::<bool>(), x in any::<u64>()) {
+            prop_assert!(matches!(b, true | false));
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_names_and_cases() {
+        assert_ne!(crate::__seed_for("a", 0), crate::__seed_for("b", 0));
+        assert_ne!(crate::__seed_for("a", 0), crate::__seed_for("a", 1));
+    }
+}
