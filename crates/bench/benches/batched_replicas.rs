@@ -1,0 +1,142 @@
+//! Hot-path bench: sequential vs batched multi-replica LIF-GW sampling.
+//!
+//! The packed-state/batched-stepping rework claims ≥2× single-core
+//! throughput on `parallel_best_traces`-style workloads at R ≥ 8 replicas
+//! on a paper-scale Figure-4 graph. This bench measures exactly that
+//! claim on the smallest Fig.-4 instance (road-chesapeake, n = 39), plus
+//! the packed synaptic kernels in isolation, and — before any timing —
+//! asserts that the batched replica traces are bit-for-bit identical to
+//! the sequential ones, so a correctness regression in the hot path fails
+//! the CI smoke run loudly rather than producing fast wrong numbers.
+//!
+//! Record results per `docs/BENCHMARKS.md` (methodology, shim caveats,
+//! and the `results/BENCH_*.json` ledger).
+
+use bench::{fig4_smallest, sdp_factors};
+use criterion::{criterion_group, criterion_main, Criterion};
+use snc_devices::{DeviceModel, DevicePool, PoolSpec};
+use snc_maxcut::{
+    log2_checkpoints, parallel_best_traces, BatchedLifGwCircuit, LifGwCircuit, LifGwConfig,
+};
+use snc_neuro::{CscWeights, DenseWeights, InputWeights};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Sample budget per replica: enough steps (64 × 50 decorrelation steps)
+/// that stepping dominates setup, small enough for a CI smoke run.
+const SAMPLES: u64 = 64;
+
+fn replica_seeds(r: usize) -> Vec<u64> {
+    (0..r as u64).map(|i| 0xF164 + i * 31).collect()
+}
+
+fn sequential_vs_batched(c: &mut Criterion) {
+    let graph = fig4_smallest();
+    let factors = sdp_factors(&graph);
+    let cfg = LifGwConfig::default();
+    let cp = log2_checkpoints(SAMPLES);
+
+    // Loud correctness gate: batched == sequential, bit for bit.
+    for r in [8usize, 16] {
+        let seeds = replica_seeds(r);
+        let reference = parallel_best_traces(
+            |i| LifGwCircuit::new(&factors, seeds[i], &cfg),
+            &graph,
+            &cp,
+            r,
+            1,
+        );
+        let batched =
+            BatchedLifGwCircuit::new(&factors, &seeds, &cfg).best_traces(&graph, &cp);
+        assert_eq!(
+            batched, reference,
+            "batched traces diverged from sequential at R={r}"
+        );
+    }
+
+    let mut group = c.benchmark_group("lif_gw_best_traces_n39");
+    for r in [8usize, 16] {
+        let seeds = replica_seeds(r);
+        group.bench_function(format!("sequential_R{r}"), |b| {
+            b.iter(|| {
+                parallel_best_traces(
+                    |i| LifGwCircuit::new(&factors, seeds[i], &cfg),
+                    &graph,
+                    &cp,
+                    seeds.len(),
+                    1,
+                )
+            })
+        });
+        group.bench_function(format!("batched_R{r}"), |b| {
+            b.iter(|| {
+                BatchedLifGwCircuit::new(&factors, &seeds, &cfg).best_traces(&graph, &cp)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The pre-packing dense kernel, verbatim: branch per device on a bool
+/// slice, accumulate active columns. Kept here as the honest baseline for
+/// the packed-kernel claim (`accumulate_active` on the trait is now a
+/// wrapper that packs and delegates to the packed kernel, so timing it
+/// would measure packing overhead, not the replaced implementation).
+fn dense_accumulate_legacy(w: &DenseWeights, active: &[bool], out: &mut [f64]) {
+    out.fill(0.0);
+    for (alpha, &on) in active.iter().enumerate() {
+        if on {
+            for (o, &v) in out.iter_mut().zip(w.column(alpha)) {
+                *o += v;
+            }
+        }
+    }
+}
+
+fn packed_kernels(c: &mut Criterion) {
+    let graph = fig4_smallest();
+    let factors = sdp_factors(&graph);
+    let dense = DenseWeights::from_matrix_scaled(&factors, 1.0);
+    let csc = CscWeights::trevisan(&graph, 1.0);
+    let n = graph.n();
+
+    let mut pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 4), 7);
+    let active4 = pool.step().clone();
+    let mut pool_n = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), n), 8);
+    let active_n = pool_n.step().clone();
+    let bools4 = active4.to_bools();
+    let bools_n = active_n.to_bools();
+    let mut out = vec![0.0; n];
+
+    let mut group = c.benchmark_group("synaptic_kernel_n39");
+    group.bench_function("dense_packed", |b| {
+        b.iter(|| dense.accumulate_words(black_box(&active4), &mut out))
+    });
+    group.bench_function("dense_legacy_bools", |b| {
+        b.iter(|| dense_accumulate_legacy(&dense, black_box(&bools4), &mut out))
+    });
+    group.bench_function("csc_packed", |b| {
+        b.iter(|| csc.accumulate_words(black_box(&active_n), &mut out))
+    });
+    // Wrapper cost, NOT a legacy baseline: `accumulate_active` packs the
+    // bools (allocating) and calls the packed kernel — this measures what
+    // a legacy bool-slice caller pays today.
+    group.bench_function("csc_bool_wrapper", |b| {
+        b.iter(|| csc.accumulate_active(black_box(&bools_n), &mut out))
+    });
+    // Pool stepping emits packed words directly; time the readout too.
+    group.bench_function("pool_step_packed", |b| {
+        b.iter(|| black_box(pool_n.step().words()[0]))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = sequential_vs_batched, packed_kernels
+}
+criterion_main!(benches);

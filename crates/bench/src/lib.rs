@@ -35,3 +35,12 @@ pub fn sdp_factors(graph: &Graph) -> DMatrix {
         .expect("SDP converges")
         .factors
 }
+
+/// The smallest Figure-4 empirical graph (road-chesapeake, 39 vertices /
+/// 170 edges) — the standard instance for hot-path smoke benches, small
+/// enough for CI yet shaped like the paper's workload.
+pub fn fig4_smallest() -> Graph {
+    snc_graph::EmpiricalDataset::RoadChesapeake
+        .load()
+        .expect("bundled dataset loads")
+}

@@ -213,7 +213,7 @@ mod tests {
             PoolSpec::uniform(DeviceModel::telegraph(0.02, 0.02).unwrap(), 1),
             10,
         );
-        let bits: Vec<bool> = (0..50_000).map(|_| pool.step()[0]).collect();
+        let bits: Vec<bool> = (0..50_000).map(|_| pool.step().get(0)).collect();
         let report = StreamReport::analyze(&bits);
         assert!(report.runs_z < -4.0, "z={}", report.runs_z);
         assert!(report.lag1 > 0.9, "lag1={}", report.lag1);

@@ -16,9 +16,12 @@
 //!   ([`SplitMix64`], [`Xoshiro256pp`]) used everywhere in the workspace.
 //! * [`device`] — the [`DeviceModel`] type describing a single stochastic
 //!   device and its update semantics.
+//! * [`activity`] — [`ActivityWords`], the bit-packed binary state vector
+//!   (one bit per device, `u64` words) that pools emit and the synaptic
+//!   kernels scan with `trailing_zeros`.
 //! * [`pool`] — [`DevicePool`], a collection of devices advanced in
 //!   lock-step, with optional common-cause cross-correlation, producing the
-//!   binary state vector consumed by the neuromorphic circuits.
+//!   packed state vector consumed by the neuromorphic circuits.
 //! * [`diagnostics`] — bit-stream quality statistics (bias, lag
 //!   autocorrelation, monobit and runs tests, pairwise correlations), the
 //!   "benchmark for device physicists" role the paper assigns to these
@@ -27,23 +30,29 @@
 //! # Quick example
 //!
 //! ```
-//! use snc_devices::{DevicePool, DeviceModel, PoolSpec};
+//! use snc_devices::{ActivityWords, DevicePool, DeviceModel, PoolSpec};
 //!
 //! // Four ideal fair-coin devices, as in the paper's evaluation.
 //! let mut pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 4), 42);
-//! let states: &[bool] = pool.step();
+//! let states: &ActivityWords = pool.step();
 //! assert_eq!(states.len(), 4);
+//! // Scan the active devices without branching on each one.
+//! for device in states.iter_active() {
+//!     assert!(device < 4);
+//! }
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod activity;
 pub mod device;
 pub mod diagnostics;
 pub mod error;
 pub mod pool;
 pub mod rng;
 
+pub use activity::{ActiveBits, ActivityWords};
 pub use device::DeviceModel;
 pub use error::DeviceError;
 pub use pool::{CommonCause, DevicePool, PoolSpec};

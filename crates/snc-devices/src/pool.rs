@@ -12,6 +12,7 @@
 //! fair coins this yields a pairwise output correlation of `c²` between any
 //! two devices — a one-parameter knob for the robustness experiments.
 
+use crate::activity::ActivityWords;
 use crate::device::{DeviceModel, DeviceState};
 use crate::error::{check_probability, DeviceError};
 use crate::rng::{Rng64, SplitMix64, Xoshiro256pp};
@@ -138,13 +139,21 @@ impl PoolSpec {
 /// the pool's output is invariant to how devices might later be partitioned
 /// across threads, and adding a device never perturbs the streams of the
 /// others.
+///
+/// Since the packed-state rework, [`DevicePool::step`] returns a bit-packed
+/// [`ActivityWords`] (one bit per device) instead of `&[bool]`. Callers that
+/// indexed the old slice (`pool.step()[i]`) now use
+/// [`ActivityWords::get`] (`pool.step().get(i)`); callers that need a
+/// boolean vector use [`ActivityWords::to_bools`]. The underlying RNG
+/// streams are unchanged, so seeded trajectories are bit-for-bit identical
+/// to the unpacked implementation.
 #[derive(Clone, Debug)]
 pub struct DevicePool {
     devices: Vec<DeviceState>,
     rngs: Vec<Xoshiro256pp>,
     latent_rng: Xoshiro256pp,
     common_cause: Option<CommonCause>,
-    states: Vec<bool>,
+    states: ActivityWords,
     steps: u64,
 }
 
@@ -180,7 +189,7 @@ impl DevicePool {
             rngs,
             latent_rng,
             common_cause: spec.common_cause,
-            states: vec![false; n],
+            states: ActivityWords::zeros(n),
             steps: 0,
         })
     }
@@ -200,8 +209,8 @@ impl DevicePool {
         self.steps
     }
 
-    /// The most recent state vector (all `false` before the first step).
-    pub fn states(&self) -> &[bool] {
+    /// The most recent packed state vector (all-zero before the first step).
+    pub fn states(&self) -> &ActivityWords {
         &self.states
     }
 
@@ -219,33 +228,45 @@ impl DevicePool {
             .collect()
     }
 
-    /// Advances every device one time step and returns the new state vector.
+    /// Advances every device one time step and returns the packed state
+    /// vector (bit `i` = device `i`).
+    ///
+    /// The per-device RNG draw order is identical to the historical
+    /// `&[bool]` implementation, so seeded trajectories are unchanged —
+    /// only the container is packed. Each 64-device chunk is assembled in
+    /// a register and stored with a single word write.
     #[inline]
-    pub fn step(&mut self) -> &[bool] {
+    pub fn step(&mut self) -> &ActivityWords {
         let latent = match self.common_cause {
             Some(_) => self.latent_rng.next_bool(0.5),
             None => false,
         };
         let coupling = self.common_cause.map_or(0.0, |cc| cc.coupling);
-        for ((dev, rng), out) in self
-            .devices
-            .iter_mut()
-            .zip(self.rngs.iter_mut())
-            .zip(self.states.iter_mut())
-        {
+        let mut word = 0u64;
+        let mut word_idx = 0usize;
+        for (i, (dev, rng)) in self.devices.iter_mut().zip(self.rngs.iter_mut()).enumerate() {
             let own = dev.step(rng);
-            *out = if coupling > 0.0 && rng.next_bool(coupling) {
+            let bit = if coupling > 0.0 && rng.next_bool(coupling) {
                 latent
             } else {
                 own
             };
+            word |= (bit as u64) << (i % 64);
+            if i % 64 == 63 {
+                self.states.set_word(word_idx, word);
+                word = 0;
+                word_idx += 1;
+            }
+        }
+        if !self.devices.len().is_multiple_of(64) {
+            self.states.set_word(word_idx, word);
         }
         self.steps += 1;
         &self.states
     }
 
-    /// Advances the pool `k` steps, returning the final state vector.
-    pub fn step_many(&mut self, k: u64) -> &[bool] {
+    /// Advances the pool `k` steps, returning the final packed state vector.
+    pub fn step_many(&mut self, k: u64) -> &ActivityWords {
         for _ in 0..k {
             self.step();
         }
@@ -255,7 +276,7 @@ impl DevicePool {
     /// Collects `t` consecutive state vectors into a row-major matrix
     /// (`t` rows of `len()` booleans), useful for diagnostics.
     pub fn record(&mut self, t: usize) -> Vec<Vec<bool>> {
-        (0..t).map(|_| self.step().to_vec()).collect()
+        (0..t).map(|_| self.step().to_bools()).collect()
     }
 }
 
@@ -305,9 +326,28 @@ mod tests {
         let mut a = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 5), 7);
         let mut b = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), 6), 7);
         for _ in 0..50 {
-            let sa = a.step().to_vec();
-            let sb = b.step().to_vec();
+            let sa = a.step().to_bools();
+            let sb = b.step().to_bools();
             assert_eq!(sa[..], sb[..5]);
+        }
+    }
+
+    #[test]
+    fn packed_states_match_recorded_bools() {
+        // The packed readout and the boolean unpacking agree bit-for-bit,
+        // including across the 64-device word boundary.
+        for count in [3usize, 64, 65, 130] {
+            let mut pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), count), 21);
+            for _ in 0..200 {
+                let packed = pool.step().clone();
+                assert_eq!(packed.len(), count);
+                let bools = packed.to_bools();
+                assert_eq!(ActivityWords::from_bools(&bools), packed);
+                assert_eq!(
+                    packed.iter_active().count(),
+                    bools.iter().filter(|&&b| b).count()
+                );
+            }
         }
     }
 

@@ -34,7 +34,7 @@ proptest! {
         let model = DeviceModel::biased(p).expect("valid p");
         let mut pool = DevicePool::new(PoolSpec::uniform(model, 1), seed);
         let n = 20_000;
-        let ones = (0..n).filter(|_| pool.step()[0]).count() as f64;
+        let ones = (0..n).filter(|_| pool.step().get(0)).count() as f64;
         let freq = ones / n as f64;
         let sd = (p * (1.0 - p) / n as f64).sqrt();
         prop_assert!((freq - p).abs() < 7.0 * sd, "p={p} freq={freq}");
@@ -46,7 +46,7 @@ proptest! {
         let model = DeviceModel::telegraph(p01, p10).expect("valid");
         let expected = model.lag1_autocorrelation();
         let mut pool = DevicePool::new(PoolSpec::uniform(model, 1), seed);
-        let bits: Vec<bool> = (0..40_000).map(|_| pool.step()[0]).collect();
+        let bits: Vec<bool> = (0..40_000).map(|_| pool.step().get(0)).collect();
         let emp = autocorrelation(&bits, 1);
         prop_assert!((emp - expected).abs() < 0.06,
             "p01={p01} p10={p10}: emp={emp} expected={expected}");
@@ -59,6 +59,19 @@ proptest! {
         let mut b = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), r), seed);
         for _ in 0..64 {
             prop_assert_eq!(a.step(), b.step());
+        }
+    }
+
+    /// Packed states round-trip through booleans at any pool size,
+    /// including across the 64-device word boundary.
+    #[test]
+    fn packed_states_roundtrip(r in 1usize..150, seed in any::<u64>()) {
+        use snc_devices::ActivityWords;
+        let mut pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), r), seed);
+        for _ in 0..16 {
+            let s = pool.step().clone();
+            prop_assert_eq!(s.len(), r);
+            prop_assert_eq!(&ActivityWords::from_bools(&s.to_bools()), &s);
         }
     }
 

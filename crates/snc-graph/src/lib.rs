@@ -30,6 +30,7 @@ pub mod cut;
 pub mod datasets;
 pub mod error;
 pub mod generators;
+pub mod incremental;
 pub mod io;
 pub mod stats;
 pub mod weighted;
@@ -37,5 +38,6 @@ pub mod weighted;
 pub use csr::{Graph, NormalizedAdjacency, TrevisanOperator};
 pub use cut::CutAssignment;
 pub use datasets::EmpiricalDataset;
+pub use incremental::{CutTracker, WeightedCutTracker};
 pub use error::GraphError;
 pub use weighted::{WeightedGraph, WeightedTrevisanOperator};

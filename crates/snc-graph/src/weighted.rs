@@ -182,6 +182,30 @@ impl WeightedGraph {
             .sum()
     }
 
+    /// Change in weighted cut value if vertex `i` were flipped
+    /// (positive = improves): `Δ = Σ same-side w_ij − Σ cross-side w_ij`.
+    ///
+    /// The weighted analogue of [`Graph`]-based
+    /// [`CutAssignment::flip_delta`], and the update rule behind
+    /// [`crate::WeightedCutTracker`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length differs from `n`.
+    pub fn flip_delta(&self, cut: &CutAssignment, i: usize) -> f64 {
+        assert_eq!(cut.len(), self.n, "assignment/graph size mismatch");
+        let si = cut.side(i);
+        let mut delta = 0.0;
+        for (&j, &w) in self.neighbors(i).iter().zip(self.neighbor_weights(i)) {
+            if cut.side(j as usize) == si {
+                delta += w;
+            } else {
+                delta -= w;
+            }
+        }
+        delta
+    }
+
     /// Drops the weights (topology only).
     pub fn to_unweighted(&self) -> Graph {
         let edges: Vec<(u32, u32)> = self.edges().map(|(u, v, _)| (u, v)).collect();

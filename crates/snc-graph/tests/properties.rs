@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use snc_graph::generators::{self, adjust_to_edge_count};
 use snc_graph::io::{dimacs, edgelist, matrix_market};
-use snc_graph::{stats, CutAssignment, Graph};
+use snc_graph::{stats, CutAssignment, CutTracker, Graph, WeightedCutTracker, WeightedGraph};
 use snc_linalg::LinOp;
 
 fn arbitrary_graph() -> impl Strategy<Value = Graph> {
@@ -80,6 +80,66 @@ proptest! {
         let alternating: Vec<i8> = (0..n).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
         prop_assert_eq!(CutAssignment::from_sides(alternating).cut_value(&g), n as u64);
         prop_assert_eq!(CutAssignment::all_ones(n).cut_value(&g), 0);
+    }
+
+    /// The incremental cut tracker agrees with from-scratch `cut_value`
+    /// over random flip sequences on Erdős–Rényi graphs: exact integer
+    /// equality after every single flip and every whole-assignment diff.
+    #[test]
+    fn tracker_matches_scratch_on_er(
+        n in 4usize..24,
+        p in 0.1f64..0.9,
+        seed in any::<u64>(),
+        flips in proptest::collection::vec((0usize..24, any::<bool>()), 1..80),
+    ) {
+        use snc_devices::Xoshiro256pp;
+        let g = generators::erdos_renyi::gnp(n, p, seed).expect("valid G(n,p)");
+        let mut rng = Xoshiro256pp::new(seed ^ 0xC0FFEE);
+        let mut tracker = CutTracker::new(&g, CutAssignment::random(n, &mut rng));
+        prop_assert_eq!(tracker.value(), tracker.assignment().cut_value(&g));
+        for &(raw, whole) in &flips {
+            if whole {
+                // Whole-assignment update, as in the sampling loop.
+                let target = CutAssignment::random(n, &mut rng);
+                prop_assert_eq!(tracker.set_to(&target), target.cut_value(&g));
+            } else {
+                let v = tracker.flip(raw % n);
+                prop_assert_eq!(v, tracker.assignment().cut_value(&g));
+            }
+        }
+    }
+
+    /// The weighted tracker agrees with from-scratch evaluation (up to
+    /// floating-point roundoff) over random flip sequences on random
+    /// weighted graphs, including negative weights.
+    #[test]
+    fn weighted_tracker_matches_scratch(
+        n in 4usize..16,
+        raw_edges in proptest::collection::vec((0u32..16, 0u32..16, -3.0f64..3.0), 1..60),
+        flips in proptest::collection::vec(0usize..16, 1..60),
+        seed in any::<u64>(),
+    ) {
+        use snc_devices::Xoshiro256pp;
+        let edges: Vec<(u32, u32, f64)> = raw_edges
+            .into_iter()
+            .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
+            .collect();
+        let g = WeightedGraph::from_weighted_edges(n, &edges).expect("in-range");
+        let scale: f64 = g.edges().map(|(_, _, w)| w.abs()).sum::<f64>() + 1.0;
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut tracker = WeightedCutTracker::new(&g, CutAssignment::random(n, &mut rng));
+        for &raw in &flips {
+            let v = tracker.flip(raw % n);
+            let scratch = g.cut_value(tracker.assignment());
+            prop_assert!(
+                (v - scratch).abs() <= 1e-12 * scale,
+                "maintained {v} vs scratch {scratch}"
+            );
+        }
+        // Whole-assignment updates also track the target's value.
+        let target = CutAssignment::random(n, &mut rng);
+        let v = tracker.set_to(&target);
+        prop_assert!((v - g.cut_value(&target)).abs() <= 1e-12 * scale);
     }
 
     /// Generator size contracts: WS and BA edge-count formulas hold.

@@ -13,11 +13,11 @@
 //! approximately independent — the hardware analogue of drawing fresh
 //! Gaussians.
 
-use crate::sampling::CutSampler;
+use crate::sampling::{BestTrace, CutSampler};
 use snc_devices::{CommonCause, DeviceModel, DevicePool, PoolSpec};
-use snc_graph::CutAssignment;
+use snc_graph::{CutAssignment, CutTracker, Graph};
 use snc_linalg::DMatrix;
-use snc_neuro::{DenseWeights, DeviceDrivenNetwork, LifParams, Reset};
+use snc_neuro::{DenseWeights, DeviceDrivenNetwork, LifParams, ReplicaBatch, Reset};
 
 /// Configuration of the LIF-GW circuit.
 #[derive(Clone, Debug)]
@@ -114,6 +114,144 @@ impl CutSampler for LifGwCircuit {
     }
 }
 
+/// `R` LIF-GW replicas advanced in lock-step, structure-of-arrays.
+///
+/// Each replica is an independent [`LifGwCircuit`] (own device seed, same
+/// SDP factors and configuration), but all replicas share one traversal of
+/// the weight matrix per time step via [`ReplicaBatch`]. Replica `r`'s
+/// sample stream is bit-for-bit identical to
+/// `LifGwCircuit::new(factors, seeds[r], cfg)` — batching changes the
+/// schedule, never the samples — which the equivalence tests pin.
+///
+/// # Examples
+///
+/// ```
+/// use snc_linalg::DMatrix;
+/// use snc_maxcut::{BatchedLifGwCircuit, LifGwConfig};
+///
+/// // Tiny 3-vertex factor matrix (rank 2) for illustration; real use
+/// // passes `solve_gw(..).factors`.
+/// let factors = DMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.6, -0.8]]);
+/// let mut batch = BatchedLifGwCircuit::new(
+///     &factors, &[1, 2, 3, 4], &LifGwConfig::default());
+/// assert_eq!((batch.replicas(), batch.n()), (4, 3));
+/// let cuts = batch.next_cuts();
+/// assert_eq!(cuts.len(), 4);
+/// assert!(cuts.iter().all(|c| c.len() == 3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchedLifGwCircuit {
+    batch: ReplicaBatch<DenseWeights>,
+    decorrelate: u64,
+}
+
+impl BatchedLifGwCircuit {
+    /// Builds one replica per seed from an SDP factor matrix (`n × r`, one
+    /// row per vertex), mirroring [`LifGwCircuit::new`] including the
+    /// warmup free-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn new(factors: &DMatrix, seeds: &[u64], cfg: &LifGwConfig) -> Self {
+        let r = factors.cols();
+        let weights = DenseWeights::from_matrix_scaled(factors, cfg.weight_scale);
+        let mut spec = PoolSpec::uniform(cfg.device.clone(), r);
+        if let Some(cc) = cfg.common_cause {
+            spec = spec.with_common_cause(cc);
+        }
+        let mut batch = ReplicaBatch::new(spec, seeds, weights, cfg.lif, cfg.reset);
+        batch.step_many(cfg.warmup_steps);
+        let decorrelate = cfg
+            .decorrelate_steps
+            .unwrap_or_else(|| cfg.lif.decorrelation_steps())
+            .max(1);
+        Self { batch, decorrelate }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.batch.replicas()
+    }
+
+    /// Number of vertices / neurons per replica.
+    pub fn n(&self) -> usize {
+        self.batch.neurons()
+    }
+
+    /// Number of devices per replica (the SDP rank).
+    pub fn devices(&self) -> usize {
+        self.batch.devices()
+    }
+
+    /// Steps simulated between samples.
+    pub fn decorrelate_steps(&self) -> u64 {
+        self.decorrelate
+    }
+
+    /// Advances all replicas to the next sample and returns one cut per
+    /// replica (index `r` corresponds to `seeds[r]`).
+    pub fn next_cuts(&mut self) -> Vec<CutAssignment> {
+        self.batch.step_many(self.decorrelate);
+        let n = self.n();
+        let mut spikes = vec![false; n];
+        (0..self.replicas())
+            .map(|r| {
+                self.batch.spiked_into(r, &mut spikes);
+                CutAssignment::from_spikes(&spikes)
+            })
+            .collect()
+    }
+
+    /// Runs every replica against the shared checkpoint grid and returns
+    /// one best-so-far trace per replica — the batched, single-core
+    /// equivalent of [`crate::sampling::parallel_best_traces`] over
+    /// [`LifGwCircuit`] factories with the same seeds, with identical
+    /// output.
+    ///
+    /// Cut values are maintained per replica with an incremental
+    /// [`CutTracker`], like the sequential sampling loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph.n()` differs from the circuit size or
+    /// `checkpoints` is not strictly ascending.
+    pub fn best_traces(&mut self, graph: &Graph, checkpoints: &[u64]) -> Vec<BestTrace> {
+        assert_eq!(graph.n(), self.n(), "graph/circuit size mismatch");
+        assert!(
+            checkpoints.windows(2).all(|w| w[0] < w[1]),
+            "checkpoints must be strictly ascending"
+        );
+        let replicas = self.replicas();
+        let mut trackers: Vec<Option<CutTracker<'_>>> = (0..replicas).map(|_| None).collect();
+        let mut best = vec![0u64; replicas];
+        let mut out: Vec<Vec<u64>> = vec![Vec::with_capacity(checkpoints.len()); replicas];
+        let mut spikes = vec![false; graph.n()];
+        let mut drawn = 0u64;
+        for &cp in checkpoints {
+            while drawn < cp {
+                self.batch.step_many(self.decorrelate);
+                for (r, tracker) in trackers.iter_mut().enumerate() {
+                    self.batch.spiked_into(r, &mut spikes);
+                    let value =
+                        crate::sampling::tracked_value_from_spikes(tracker, graph, &spikes);
+                    best[r] = best[r].max(value);
+                }
+                drawn += 1;
+            }
+            for (r, trace) in out.iter_mut().enumerate() {
+                trace.push(best[r]);
+            }
+        }
+        out.into_iter()
+            .map(|b| BestTrace {
+                checkpoints: checkpoints.to_vec(),
+                best: b,
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +306,49 @@ mod tests {
             );
             assert!(c >= 0.878, "seed={seed}: circuit ratio {c}");
         }
+    }
+
+    #[test]
+    fn batched_replicas_match_sequential_circuits() {
+        // The tentpole equivalence: every batched replica's sample stream
+        // is bit-for-bit the sequential circuit's with the same seed.
+        let g = gnp(16, 0.4, 9).unwrap();
+        let sol = solve_gw(&g, &GwConfig::default()).unwrap();
+        let cfg = LifGwConfig::default();
+        let seeds: Vec<u64> = (0..6u64).map(|i| 0x6A11 + i * 97).collect();
+        let mut batch = BatchedLifGwCircuit::new(&sol.factors, &seeds, &cfg);
+        assert_eq!(batch.replicas(), 6);
+        assert_eq!(batch.devices(), 4);
+        let mut sequential: Vec<LifGwCircuit> = seeds
+            .iter()
+            .map(|&s| LifGwCircuit::new(&sol.factors, s, &cfg))
+            .collect();
+        for sample in 0..12 {
+            let cuts = batch.next_cuts();
+            for (r, circuit) in sequential.iter_mut().enumerate() {
+                assert_eq!(cuts[r], circuit.next_cut(), "sample {sample} replica {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_best_traces_match_parallel_best_traces() {
+        use crate::sampling::parallel_best_traces;
+        let g = gnp(14, 0.5, 4).unwrap();
+        let sol = solve_gw(&g, &GwConfig::default()).unwrap();
+        let cfg = LifGwConfig::default();
+        let seeds: Vec<u64> = (0..8u64).map(|i| 1000 + i).collect();
+        let cp = log2_checkpoints(32);
+        let mut batch = BatchedLifGwCircuit::new(&sol.factors, &seeds, &cfg);
+        let batched = batch.best_traces(&g, &cp);
+        let reference = parallel_best_traces(
+            |i| LifGwCircuit::new(&sol.factors, seeds[i], &cfg),
+            &g,
+            &cp,
+            seeds.len(),
+            2,
+        );
+        assert_eq!(batched, reference);
     }
 
     #[test]

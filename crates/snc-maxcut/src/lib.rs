@@ -38,7 +38,7 @@ pub mod stats;
 pub mod trevisan;
 pub mod weighted;
 
-pub use circuits::lif_gw::{LifGwCircuit, LifGwConfig};
+pub use circuits::lif_gw::{BatchedLifGwCircuit, LifGwCircuit, LifGwConfig};
 pub use circuits::lif_trevisan::{LifTrevisanCircuit, LifTrevisanConfig};
 pub use gw::{solve_gw, GwConfig, GwSampler, GwSolution};
 pub use random::RandomCutSampler;

@@ -7,7 +7,7 @@
 //! independent replicas across threads with deterministic per-replica
 //! seeds.
 
-use snc_graph::{CutAssignment, Graph};
+use snc_graph::{CutAssignment, CutTracker, Graph};
 use snc_neuro::parallel::run_replicas;
 
 /// A stochastic source of cut assignments for a fixed graph.
@@ -47,6 +47,60 @@ impl BestTrace {
     }
 }
 
+/// Folds one drawn cut into a lazily-initialized [`CutTracker`],
+/// returning the cut's value. The first call seeds the tracker (one
+/// scratch evaluation); later calls diff incrementally.
+pub(crate) fn tracked_value<'g>(
+    tracker: &mut Option<CutTracker<'g>>,
+    graph: &'g Graph,
+    cut: CutAssignment,
+) -> u64 {
+    match tracker.as_mut() {
+        Some(t) => t.set_to(&cut),
+        None => {
+            let t = CutTracker::new(graph, cut);
+            let v = t.value();
+            *tracker = Some(t);
+            v
+        }
+    }
+}
+
+/// Weighted-graph variant of [`tracked_value`].
+pub(crate) fn tracked_value_weighted<'g>(
+    tracker: &mut Option<snc_graph::WeightedCutTracker<'g>>,
+    graph: &'g snc_graph::WeightedGraph,
+    cut: CutAssignment,
+) -> f64 {
+    match tracker.as_mut() {
+        Some(t) => t.set_to(&cut),
+        None => {
+            let t = snc_graph::WeightedCutTracker::new(graph, cut);
+            let v = t.value();
+            *tracker = Some(t);
+            v
+        }
+    }
+}
+
+/// Spike-pattern variant of [`tracked_value`] (avoids materializing a
+/// [`CutAssignment`] per sample after the first).
+pub(crate) fn tracked_value_from_spikes<'g>(
+    tracker: &mut Option<CutTracker<'g>>,
+    graph: &'g Graph,
+    spiked: &[bool],
+) -> u64 {
+    match tracker.as_mut() {
+        Some(t) => t.set_from_spikes(spiked),
+        None => {
+            let t = CutTracker::new(graph, CutAssignment::from_spikes(spiked));
+            let v = t.value();
+            *tracker = Some(t);
+            v
+        }
+    }
+}
+
 /// Logarithmically spaced checkpoints `1, 2, 4, …` up to and including
 /// `budget` (deduplicated; empty for zero budget).
 pub fn log2_checkpoints(budget: u64) -> Vec<u64> {
@@ -66,6 +120,13 @@ pub fn log2_checkpoints(budget: u64) -> Vec<u64> {
 /// Draws samples up to the last checkpoint, recording the best-so-far cut
 /// value at every checkpoint.
 ///
+/// Cut values are maintained incrementally with a [`CutTracker`]: each
+/// sample is diffed against the previous one and updated flip-by-flip, so
+/// samplers whose consecutive cuts differ in few vertices (LIF-Trevisan's
+/// slowly-learning readout, annealing) pay O(changed · degree) per sample
+/// instead of O(m). The tracker's integer arithmetic is exact, so the
+/// recorded trace is identical to evaluating every sample from scratch.
+///
 /// # Panics
 ///
 /// Panics if `checkpoints` is not strictly ascending.
@@ -81,12 +142,13 @@ pub fn sample_best_trace(
     let mut best = 0u64;
     let mut out = Vec::with_capacity(checkpoints.len());
     let mut drawn = 0u64;
+    let mut tracker: Option<CutTracker<'_>> = None;
     for &cp in checkpoints {
         while drawn < cp {
             let cut = sampler.next_cut();
-            let value = cut.cut_value(graph);
             // A cut and its complement are equivalent; both are covered by
             // the single evaluation.
+            let value = tracked_value(&mut tracker, graph, cut);
             best = best.max(value);
             drawn += 1;
         }
@@ -142,8 +204,10 @@ pub fn sample_stats(
 ) -> SampleStats {
     let mut best = 0u64;
     let mut total = 0.0f64;
+    let mut tracker: Option<CutTracker<'_>> = None;
     for _ in 0..budget {
-        let value = sampler.next_cut().cut_value(graph);
+        let cut = sampler.next_cut();
+        let value = tracked_value(&mut tracker, graph, cut);
         best = best.max(value);
         total += value as f64;
     }

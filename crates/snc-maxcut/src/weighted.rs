@@ -18,7 +18,7 @@
 use crate::circuits::lif_trevisan::LifTrevisanConfig;
 use crate::sampling::CutSampler;
 use snc_graph::weighted::WeightedTrevisanOperator;
-use snc_graph::{CutAssignment, WeightedGraph};
+use snc_graph::{CutAssignment, WeightedCutTracker, WeightedGraph};
 use snc_linalg::eigen::{extreme_eigenpair, Which};
 use snc_linalg::{sdp, LinalgError, SdpConfig};
 use snc_neuro::TwoStageNetwork;
@@ -41,6 +41,13 @@ impl WeightedBestTrace {
 
 /// Draws samples and records the best weighted cut at each checkpoint.
 ///
+/// Cut values are maintained incrementally with a [`WeightedCutTracker`]
+/// (the weighted LIF-Trevisan circuit's consecutive samples differ in few
+/// vertices, so diffs beat O(m) re-evaluation). The maintained `f64` can
+/// differ from a scratch evaluation by accumulated rounding of order
+/// `ε·Σ|w|` between the tracker's periodic resyncs; see
+/// [`WeightedCutTracker::RESYNC_INTERVAL`].
+///
 /// # Panics
 ///
 /// Panics if `checkpoints` is not strictly ascending.
@@ -56,10 +63,12 @@ pub fn sample_best_trace_weighted(
     let mut best = f64::NEG_INFINITY;
     let mut out = Vec::with_capacity(checkpoints.len());
     let mut drawn = 0u64;
+    let mut tracker: Option<WeightedCutTracker<'_>> = None;
     for &cp in checkpoints {
         while drawn < cp {
             let cut = sampler.next_cut();
-            best = best.max(graph.cut_value(&cut));
+            let value = crate::sampling::tracked_value_weighted(&mut tracker, graph, cut);
+            best = best.max(value);
             drawn += 1;
         }
         out.push(if best.is_finite() { best } else { 0.0 });

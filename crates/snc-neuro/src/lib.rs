@@ -40,6 +40,7 @@ pub mod theory;
 
 pub use lif::{Integrator, LifParams, Reset};
 pub use network::{DeviceDrivenNetwork, PlasticitySignal, TwoStageConfig, TwoStageNetwork};
+pub use parallel::ReplicaBatch;
 pub use plasticity::{Hebbian, LearningRate, OjaMinor, OjaPrincipal, PlasticityRule};
 pub use population::LifPopulation;
-pub use synapse::{CscWeights, DenseWeights, InputWeights};
+pub use synapse::{BatchWeights, CscWeights, DenseWeights, InputWeights};

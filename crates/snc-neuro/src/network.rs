@@ -101,7 +101,7 @@ impl<W: InputWeights> DeviceDrivenNetwork<W> {
     #[inline]
     pub fn step(&mut self) -> &[bool] {
         let states = self.pool.step();
-        self.weights.accumulate_active(states, &mut self.current);
+        self.weights.accumulate_words(states, &mut self.current);
         self.population.step(&self.current)
     }
 

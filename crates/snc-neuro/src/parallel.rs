@@ -1,12 +1,27 @@
-//! Parallel replica execution.
+//! Parallel and batched replica execution.
 //!
 //! Sampling from a stochastic circuit is embarrassingly parallel: replicas
 //! of the same network with different device seeds explore independent
 //! sample streams (the hardware analogy is simply more circuits). This
-//! module runs `count` replicas across `threads` OS threads with
-//! deterministic results: replica `i` always computes `f(i)`, so the output
-//! is invariant to the thread count.
+//! module provides two complementary ways to exploit that:
+//!
+//! * [`run_replicas`] — run `count` independent jobs across `threads` OS
+//!   threads with deterministic results: replica `i` always computes
+//!   `f(i)`, so the output is invariant to the thread count.
+//! * [`ReplicaBatch`] — advance `R` replicas of the *same* circuit in
+//!   lock-step on one core, structure-of-arrays, so each traversal of the
+//!   weight matrix serves every replica at once. Replica trajectories are
+//!   bit-for-bit identical to stepping `R` independent
+//!   [`DeviceDrivenNetwork`](crate::DeviceDrivenNetwork)s with the same
+//!   seeds — batching changes the schedule, never the numbers.
+//!
+//! The two compose: a thread pool of `ReplicaBatch`es is the full
+//! replicas = threads × batch-width layout.
 
+use crate::lif::{LifParams, Reset};
+use crate::synapse::BatchWeights;
+use crate::theory;
+use snc_devices::{ActivityWords, DevicePool, PoolSpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -60,9 +75,378 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// `R` replicas of one device-driven circuit advanced in lock-step,
+/// structure-of-arrays.
+///
+/// Every replica shares the same weight matrix, membrane parameters, and
+/// thresholds; only the device seeds differ. Membranes are stored
+/// replica-major (`v[r * n + i]` is neuron `i` of replica `r`), so one
+/// pass over the weight matrix per time step feeds all replicas
+/// ([`BatchWeights::accumulate_replicas`]) and the fused decay–accumulate
+/// membrane update runs over one contiguous buffer.
+///
+/// Trajectories are bit-for-bit identical to `R` independent
+/// [`DeviceDrivenNetwork`](crate::DeviceDrivenNetwork)s constructed from
+/// the same pool spec and seeds: the per-replica RNG streams, the
+/// ascending-column accumulation order, and the membrane update expression
+/// are all preserved exactly.
+///
+/// # Examples
+///
+/// ```
+/// use snc_devices::{DeviceModel, PoolSpec};
+/// use snc_linalg::DMatrix;
+/// use snc_neuro::parallel::ReplicaBatch;
+/// use snc_neuro::{DenseWeights, LifParams, Reset};
+///
+/// // 3 neurons driven by 2 devices, 4 replicas with seeds 0..4.
+/// let m = DMatrix::from_rows(&[&[1.0, 0.2], &[-0.4, 0.9], &[0.3, 0.3]]);
+/// let weights = DenseWeights::from_matrix_scaled(&m, 1.0);
+/// let spec = PoolSpec::uniform(DeviceModel::fair(), 2);
+/// let mut batch = ReplicaBatch::new(spec, &[0, 1, 2, 3], weights,
+///                                   LifParams::default(), Reset::None);
+/// batch.step_many(100);
+/// assert_eq!((batch.replicas(), batch.neurons()), (4, 3));
+/// // Read replica 2's spike pattern.
+/// let mut spikes = vec![false; 3];
+/// batch.spiked_into(2, &mut spikes);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReplicaBatch<W: BatchWeights> {
+    pools: Vec<DevicePool>,
+    weights: W,
+    plan: W::Plan,
+    params: LifParams,
+    reset: Reset,
+    /// Per-neuron thresholds (= analytic stationary means), shared by all
+    /// replicas.
+    means: Vec<f64>,
+    /// Membranes, replica-major: `v[r * neurons + i]`.
+    v: Vec<f64>,
+    /// Synaptic currents, same layout as `v`.
+    current: Vec<f64>,
+    /// Spike flags recorded during the step (reset modes only, where the
+    /// pre-reset membrane is not recoverable afterwards); same layout.
+    spiked: Vec<bool>,
+    /// Per-replica packed device states for the current step.
+    states: Vec<ActivityWords>,
+    steps: u64,
+}
+
+impl<W: BatchWeights> ReplicaBatch<W> {
+    /// Builds `seeds.len()` replicas of the circuit motif: pools from the
+    /// shared `spec` (one per seed), thresholds at the analytic stationary
+    /// means, membranes starting at those means — exactly the
+    /// [`DeviceDrivenNetwork`](crate::DeviceDrivenNetwork) initial state,
+    /// replicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty or the spec size differs from the weight
+    /// matrix's device count.
+    pub fn new(spec: PoolSpec, seeds: &[u64], weights: W, params: LifParams, reset: Reset) -> Self {
+        assert!(!seeds.is_empty(), "at least one replica seed required");
+        assert_eq!(
+            spec.len(),
+            weights.devices(),
+            "pool size must match weight columns"
+        );
+        let pools: Vec<DevicePool> = seeds
+            .iter()
+            .map(|&s| DevicePool::new(spec.clone(), s))
+            .collect();
+        let n = weights.neurons();
+        let replicas = pools.len();
+        // All pools share one spec, so their stationary probabilities (and
+        // hence the analytic means) are identical; compute once.
+        let ps = pools[0].stationary_ps();
+        let mut means = vec![0.0; n];
+        weights.apply(&ps, &mut means);
+        let mf = theory::mean_factor(&params);
+        for m in &mut means {
+            *m *= mf;
+        }
+        let mut v = vec![0.0; n * replicas];
+        for lane in v.chunks_exact_mut(n) {
+            lane.copy_from_slice(&means);
+        }
+        let states = vec![ActivityWords::zeros(spec.len()); replicas];
+        let plan = weights.batch_plan();
+        Self {
+            pools,
+            weights,
+            plan,
+            params,
+            reset,
+            means,
+            v,
+            current: vec![0.0; n * replicas],
+            spiked: vec![false; n * replicas],
+            states,
+            steps: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Number of neurons per replica.
+    pub fn neurons(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Number of devices per replica.
+    pub fn devices(&self) -> usize {
+        self.weights.devices()
+    }
+
+    /// Lock-steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The analytic stationary means (= spike thresholds), shared by all
+    /// replicas.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The shared weight matrix.
+    pub fn weights(&self) -> &W {
+        &self.weights
+    }
+
+    /// Raw membrane storage, replica-major: `potentials()[r * neurons() + i]`.
+    pub fn potentials(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// The membrane potential of neuron `i` in replica `r`.
+    pub fn potential(&self, i: usize, r: usize) -> f64 {
+        assert!(r < self.replicas(), "replica index out of range");
+        assert!(i < self.neurons(), "neuron index out of range");
+        self.v[r * self.neurons() + i]
+    }
+
+    /// Writes replica `r`'s spike flags from the most recent step into
+    /// `out`.
+    ///
+    /// With [`Reset::None`] spikes are a pure readout (`V > threshold`)
+    /// of the membranes, so they are computed on demand here instead of
+    /// on every step — one of the batched stepper's savings over the
+    /// sequential network, with identical readouts at every step. With
+    /// [`Reset::ToValue`] the pre-reset membrane is gone after the step,
+    /// so the flags recorded during the step are returned — again exactly
+    /// the sequential `LifPopulation::step` readout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != neurons()` or `r` is out of range.
+    pub fn spiked_into(&self, r: usize, out: &mut [bool]) {
+        let n = self.neurons();
+        assert!(r < self.replicas(), "replica index out of range");
+        assert_eq!(out.len(), n, "spike buffer length");
+        match self.reset {
+            Reset::None => {
+                let lane = &self.v[r * n..(r + 1) * n];
+                for ((o, &v), &thr) in out.iter_mut().zip(lane).zip(&self.means) {
+                    *o = v > thr;
+                }
+            }
+            Reset::ToValue(_) => {
+                out.copy_from_slice(&self.spiked[r * n..(r + 1) * n]);
+            }
+        }
+    }
+
+    /// Advances every replica one time step.
+    #[inline]
+    pub fn step(&mut self) {
+        for (pool, state) in self.pools.iter_mut().zip(self.states.iter_mut()) {
+            state.copy_from(pool.step());
+        }
+        let decay = self.params.decay();
+        let gain = self.params.input_gain();
+        // Fused fast path: when the kernel memoizes per-pattern current
+        // rows (dense weights at SDP rank), read the currents in place —
+        // no intermediate buffer is written at all. Availability is
+        // plan-wide (state-independent), so probing one replica decides
+        // for all. Only valid without reset feedback.
+        if matches!(self.reset, Reset::None)
+            && self
+                .weights
+                .memoized_row(&self.plan, &self.states[0])
+                .is_some()
+        {
+            let n = self.means.len();
+            for (r, state) in self.states.iter().enumerate() {
+                let row = self
+                    .weights
+                    .memoized_row(&self.plan, state)
+                    .expect("memoized_row availability is state-independent");
+                let lane = &mut self.v[r * n..(r + 1) * n];
+                for (v, &i_in) in lane.iter_mut().zip(row) {
+                    *v = decay * *v + gain * i_in;
+                }
+            }
+            self.steps += 1;
+            return;
+        }
+        self.weights
+            .accumulate_replicas(&mut self.plan, &self.states, &mut self.current);
+        match self.reset {
+            Reset::None => {
+                // Same update expression as `LifPopulation::step`; the
+                // threshold readout is deferred to `spiked_into` because
+                // without reset it cannot feed back into the dynamics.
+                for (v, &i_in) in self.v.iter_mut().zip(&self.current) {
+                    *v = decay * *v + gain * i_in;
+                }
+            }
+            Reset::ToValue(rv) => {
+                let n = self.means.len();
+                for ((lane, cur), spk_lane) in self
+                    .v
+                    .chunks_exact_mut(n)
+                    .zip(self.current.chunks_exact(n))
+                    .zip(self.spiked.chunks_exact_mut(n))
+                {
+                    for (((v, &i_in), &thr), spk) in
+                        lane.iter_mut().zip(cur).zip(&self.means).zip(spk_lane)
+                    {
+                        let mut vv = decay * *v + gain * i_in;
+                        // Record the pre-reset threshold crossing: this is
+                        // the spike flag the sequential population reports.
+                        *spk = vv > thr;
+                        if *spk {
+                            vv = rv;
+                        }
+                        *v = vv;
+                    }
+                }
+            }
+        }
+        self.steps += 1;
+    }
+
+    /// Advances every replica `k` time steps.
+    pub fn step_many(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::DeviceDrivenNetwork;
+    use crate::synapse::{CscWeights, DenseWeights, InputWeights};
+    use snc_devices::DeviceModel;
+    use snc_graph::generators::structured::cycle;
+    use snc_linalg::DMatrix;
+
+    /// Batched trajectories must be bit-for-bit equal to independent
+    /// sequential networks with the same seeds: membranes and spikes.
+    fn assert_batch_equals_sequential<W>(spec: PoolSpec, weights: W, reset: Reset, steps: u64)
+    where
+        W: BatchWeights + Clone,
+    {
+        let seeds: Vec<u64> = (0..7u64).map(|i| 0xA5A5 + i * 31).collect();
+        let params = LifParams::default();
+        let mut batch = ReplicaBatch::new(spec.clone(), &seeds, weights.clone(), params, reset);
+        let mut nets: Vec<DeviceDrivenNetwork<W>> = seeds
+            .iter()
+            .map(|&s| {
+                DeviceDrivenNetwork::new(
+                    DevicePool::new(spec.clone(), s),
+                    weights.clone(),
+                    params,
+                    reset,
+                )
+            })
+            .collect();
+        let n = batch.neurons();
+        let mut spikes = vec![false; n];
+        for t in 0..steps {
+            batch.step();
+            for (r, net) in nets.iter_mut().enumerate() {
+                let seq_spikes = net.step().to_vec();
+                for i in 0..n {
+                    assert_eq!(
+                        net.potentials()[i].to_bits(),
+                        batch.potential(i, r).to_bits(),
+                        "t={t} replica={r} neuron={i}"
+                    );
+                }
+                batch.spiked_into(r, &mut spikes);
+                assert_eq!(seq_spikes, spikes, "t={t} replica={r}");
+            }
+        }
+        assert_eq!(batch.steps(), steps);
+    }
+
+    #[test]
+    fn dense_batch_matches_sequential_networks() {
+        // SDP-rank-style dense weights (pattern-table kernel path).
+        let m = DMatrix::from_fn(9, 4, |i, a| (i as f64 + 1.0) * 0.1 - a as f64 * 0.07);
+        let w = DenseWeights::from_matrix_scaled(&m, 1.0);
+        let spec = PoolSpec::uniform(DeviceModel::fair(), 4);
+        assert_batch_equals_sequential(spec, w, Reset::None, 120);
+    }
+
+    #[test]
+    fn wide_dense_batch_matches_sequential_networks() {
+        // More devices than the pattern-table cap (column-scan path).
+        let m = DMatrix::from_fn(5, 9, |i, a| ((i * 9 + a) as f64).sin());
+        let w = DenseWeights::from_matrix_scaled(&m, 0.5);
+        let spec = PoolSpec::uniform(DeviceModel::biased(0.3).unwrap(), 9);
+        assert_batch_equals_sequential(spec, w, Reset::None, 80);
+    }
+
+    #[test]
+    fn csc_batch_matches_sequential_networks() {
+        let g = cycle(11);
+        let w = CscWeights::trevisan(&g, 1.0);
+        let spec = PoolSpec::uniform(DeviceModel::fair(), 11);
+        assert_batch_equals_sequential(spec, w, Reset::None, 100);
+    }
+
+    #[test]
+    fn reset_to_value_batch_matches_sequential_networks() {
+        // With reset, spikes feed back into the dynamics; the batched
+        // stepper must threshold every step, like the sequential one.
+        let m = DMatrix::from_fn(6, 3, |i, a| 0.4 + (i + a) as f64 * 0.05);
+        let w = DenseWeights::from_matrix_scaled(&m, 1.0);
+        let spec = PoolSpec::uniform(DeviceModel::fair(), 3);
+        assert_batch_equals_sequential(spec, w, Reset::ToValue(0.0), 150);
+    }
+
+    #[test]
+    fn batch_accessors() {
+        let m = DMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let w = DenseWeights::from_matrix_scaled(&m, 1.0);
+        let spec = PoolSpec::uniform(DeviceModel::fair(), 2);
+        let batch = ReplicaBatch::new(spec, &[1, 2, 3], w, LifParams::default(), Reset::None);
+        assert_eq!(batch.replicas(), 3);
+        assert_eq!(batch.neurons(), 2);
+        assert_eq!(batch.devices(), 2);
+        assert_eq!(batch.potentials().len(), 6);
+        assert_eq!(batch.means().len(), 2);
+        assert_eq!(batch.weights().neurons(), 2);
+        assert_eq!(batch.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_seed_list_panics() {
+        let m = DMatrix::from_rows(&[&[1.0]]);
+        let w = DenseWeights::from_matrix_scaled(&m, 1.0);
+        let spec = PoolSpec::uniform(DeviceModel::fair(), 1);
+        let _ = ReplicaBatch::new(spec, &[], w, LifParams::default(), Reset::None);
+    }
 
     #[test]
     fn results_in_index_order() {

@@ -4,13 +4,21 @@
 //! `s ∈ {0,1}^r`, form the synaptic current `I = W s`, step the membranes.
 //! Because `s` is binary, `W s` is a sum of the *active columns* of `W` —
 //! so weights are stored column-major (dense) or CSC (sparse), making the
-//! kernel a sequence of contiguous column accumulations.
+//! kernel a sequence of contiguous column accumulations. The state vector
+//! arrives bit-packed ([`ActivityWords`], one bit per device), so the
+//! column walk is a `trailing_zeros` word scan — no per-device branch.
 //!
 //! * [`DenseWeights`] — for the LIF-GW circuit, whose weight matrix is the
 //!   dense `n × r` SDP factor matrix (r = 4 in the paper).
 //! * [`CscWeights`] — for the LIF-Trevisan circuit, whose weight matrix is
 //!   the sparse `n × n` Trevisan matrix `I + D^{-1/2} A D^{-1/2}`.
+//!
+//! Both kernels also come in a *multi-replica* structure-of-arrays form
+//! ([`BatchWeights`]): `R` replicas of the same circuit are advanced with
+//! a single traversal of the weight matrix, each weight load amortized
+//! across replicas (see `crate::parallel::ReplicaBatch`).
 
+use snc_devices::ActivityWords;
 use snc_graph::Graph;
 use snc_linalg::DMatrix;
 
@@ -20,12 +28,27 @@ pub trait InputWeights {
     fn neurons(&self) -> usize;
     /// Number of devices (columns).
     fn devices(&self) -> usize;
-    /// Computes `out = W · s` for a binary state vector `s` (as bools).
+    /// Computes `out = W · s` for a bit-packed binary state vector `s`,
+    /// accumulating active columns in ascending column order (the order is
+    /// part of the contract: it makes packed, unpacked, and batched
+    /// kernels bit-for-bit identical in floating point).
     ///
     /// # Panics
     ///
     /// Panics if `active.len() != devices()` or `out.len() != neurons()`.
-    fn accumulate_active(&self, active: &[bool], out: &mut [f64]);
+    fn accumulate_words(&self, active: &ActivityWords, out: &mut [f64]);
+    /// Computes `out = W · s` for a binary state vector given as bools.
+    ///
+    /// Convenience wrapper that packs and delegates to
+    /// [`InputWeights::accumulate_words`]; it allocates, so hot paths
+    /// should hold an [`ActivityWords`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len() != devices()` or `out.len() != neurons()`.
+    fn accumulate_active(&self, active: &[bool], out: &mut [f64]) {
+        self.accumulate_words(&ActivityWords::from_bools(active), out);
+    }
     /// Computes `out = W · x` for a real-valued vector `x` (used with the
     /// per-device stationary probabilities to place thresholds).
     ///
@@ -37,6 +60,49 @@ pub trait InputWeights {
     fn row_sums(&self) -> Vec<f64>;
     /// The Gram matrix `W Wᵀ` (the covariance shape of the membranes).
     fn gram(&self) -> DMatrix;
+}
+
+/// Multi-replica (structure-of-arrays) extension of [`InputWeights`].
+///
+/// Computes the synaptic currents of `R` replicas of the same circuit in
+/// one traversal of the weight matrix. The output layout is replica-major:
+/// `out[r * neurons + i]` is neuron `i`'s current in replica `r`, so each
+/// replica's current vector is one contiguous slice (memcpy-able pattern
+/// rows, vectorizable column adds, branch-free membrane fusion) while the
+/// matrix structure — column masks, sparse indices, values — is read once
+/// per step instead of once per replica.
+///
+/// Per `(neuron, replica)` pair the additions happen in ascending column
+/// order — exactly the order [`InputWeights::accumulate_words`] uses — so
+/// batched currents are bit-for-bit equal to stepping each replica alone.
+pub trait BatchWeights: InputWeights {
+    /// Reusable precomputed state and scratch for the batched kernel.
+    type Plan: Clone + std::fmt::Debug;
+    /// Builds the kernel plan (pattern tables, scratch buffers).
+    fn batch_plan(&self) -> Self::Plan;
+    /// Computes `out[r * neurons + i] = (W · s_r)_i` for replica states
+    /// `s_r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `states[r].len() != devices()` or
+    /// `out.len() != neurons() * states.len()`.
+    fn accumulate_replicas(
+        &self,
+        plan: &mut Self::Plan,
+        states: &[ActivityWords],
+        out: &mut [f64],
+    );
+    /// The memoized current vector `W · s` for one packed state, if the
+    /// plan precomputes per-pattern rows — lets steppers read currents in
+    /// place instead of materializing them. Availability must not depend
+    /// on the state's *value* (only on the plan), so callers may probe
+    /// once and then rely on it for every replica. The default plan has no
+    /// memoization.
+    fn memoized_row<'p>(&self, plan: &'p Self::Plan, state: &ActivityWords) -> Option<&'p [f64]> {
+        let _ = (plan, state);
+        None
+    }
 }
 
 /// Dense column-major weights.
@@ -100,16 +166,14 @@ impl InputWeights for DenseWeights {
     }
 
     #[inline]
-    fn accumulate_active(&self, active: &[bool], out: &mut [f64]) {
+    fn accumulate_words(&self, active: &ActivityWords, out: &mut [f64]) {
         assert_eq!(active.len(), self.cols);
         assert_eq!(out.len(), self.rows);
         out.fill(0.0);
-        for (alpha, &on) in active.iter().enumerate() {
-            if on {
-                let col = self.column(alpha);
-                for (o, &w) in out.iter_mut().zip(col) {
-                    *o += w;
-                }
+        for alpha in active.iter_active() {
+            let col = self.column(alpha);
+            for (o, &w) in out.iter_mut().zip(col) {
+                *o += w;
             }
         }
     }
@@ -143,6 +207,108 @@ impl InputWeights for DenseWeights {
         // columns' entries — equivalently convert to row-major and reuse.
         let row_major = DMatrix::from_fn(self.rows, self.cols, |i, a| self.get(i, a));
         row_major.gram_rows()
+    }
+}
+
+/// Device counts up to this many columns get a precomputed pattern table
+/// in [`DensePlan`]: one current row per possible activity pattern
+/// (`2^cols × rows` doubles). The LIF-GW circuit runs at the paper's SDP
+/// rank 4, well under the cap.
+pub const DENSE_PATTERN_COLS: usize = 6;
+
+/// Plan/scratch state for the batched dense kernel.
+///
+/// With at most [`DENSE_PATTERN_COLS`] devices there are at most 64
+/// possible activity patterns, so the plan memoizes `W · s` for every
+/// pattern once (each entry computed with the exact ascending-column
+/// addition order of the live kernel) and the per-step kernel degenerates
+/// to a table row copy per replica. Above the cap the kernel falls back to
+/// a column scan with the weight load amortized across replicas.
+#[derive(Clone, Debug)]
+pub struct DensePlan {
+    /// `table[p * rows + i]` = current of neuron `i` under pattern `p`;
+    /// empty when `cols > DENSE_PATTERN_COLS`.
+    table: Vec<f64>,
+    /// Scratch: indices of replicas with the current column active
+    /// (scan mode).
+    active: Vec<u32>,
+}
+
+impl BatchWeights for DenseWeights {
+    type Plan = DensePlan;
+
+    fn batch_plan(&self) -> DensePlan {
+        let table = if self.cols <= DENSE_PATTERN_COLS {
+            let patterns = 1usize << self.cols;
+            let mut table = vec![0.0; patterns * self.rows];
+            let mut states = ActivityWords::zeros(self.cols);
+            for p in 0..patterns {
+                for alpha in 0..self.cols {
+                    states.set(alpha, (p >> alpha) & 1 == 1);
+                }
+                let row = &mut table[p * self.rows..(p + 1) * self.rows];
+                self.accumulate_words(&states, row);
+            }
+            table
+        } else {
+            Vec::new()
+        };
+        DensePlan {
+            table,
+            active: Vec::new(),
+        }
+    }
+
+    fn accumulate_replicas(
+        &self,
+        plan: &mut DensePlan,
+        states: &[ActivityWords],
+        out: &mut [f64],
+    ) {
+        let replicas = states.len();
+        assert_eq!(out.len(), self.rows * replicas);
+        for s in states {
+            assert_eq!(s.len(), self.cols);
+        }
+        if !plan.table.is_empty() {
+            // Pattern mode: each replica's current vector is a straight
+            // copy of its pattern's memoized row.
+            for (r, s) in states.iter().enumerate() {
+                let p = s.words().first().copied().unwrap_or(0) as usize;
+                let row = &plan.table[p * self.rows..(p + 1) * self.rows];
+                out[r * self.rows..(r + 1) * self.rows].copy_from_slice(row);
+            }
+        } else {
+            // Scan mode: walk each column once; for every replica with the
+            // column active, add it as one contiguous vectorizable pass.
+            out.fill(0.0);
+            for alpha in 0..self.cols {
+                plan.active.clear();
+                for (r, s) in states.iter().enumerate() {
+                    if s.get(alpha) {
+                        plan.active.push(r as u32);
+                    }
+                }
+                if plan.active.is_empty() {
+                    continue;
+                }
+                let col = self.column(alpha);
+                for &r in &plan.active {
+                    let lane = &mut out[r as usize * self.rows..(r as usize + 1) * self.rows];
+                    for (o, &w) in lane.iter_mut().zip(col) {
+                        *o += w;
+                    }
+                }
+            }
+        }
+    }
+
+    fn memoized_row<'p>(&self, plan: &'p DensePlan, state: &ActivityWords) -> Option<&'p [f64]> {
+        if plan.table.is_empty() {
+            return None;
+        }
+        let p = state.words().first().copied().unwrap_or(0) as usize;
+        Some(&plan.table[p * self.rows..(p + 1) * self.rows])
     }
 }
 
@@ -303,15 +469,13 @@ impl InputWeights for CscWeights {
     }
 
     #[inline]
-    fn accumulate_active(&self, active: &[bool], out: &mut [f64]) {
+    fn accumulate_words(&self, active: &ActivityWords, out: &mut [f64]) {
         assert_eq!(active.len(), self.cols);
         assert_eq!(out.len(), self.rows);
         out.fill(0.0);
-        for (alpha, &on) in active.iter().enumerate() {
-            if on {
-                for k in self.col_ptr[alpha]..self.col_ptr[alpha + 1] {
-                    out[self.row_idx[k] as usize] += self.values[k];
-                }
+        for alpha in active.iter_active() {
+            for k in self.col_ptr[alpha]..self.col_ptr[alpha + 1] {
+                out[self.row_idx[k] as usize] += self.values[k];
             }
         }
     }
@@ -339,6 +503,58 @@ impl InputWeights for CscWeights {
 
     fn gram(&self) -> DMatrix {
         self.to_dense().gram_rows()
+    }
+}
+
+/// Plan/scratch state for the batched CSC kernel.
+#[derive(Clone, Debug, Default)]
+pub struct CscPlan {
+    /// Scratch: indices of replicas with the current column active.
+    active: Vec<u32>,
+}
+
+impl BatchWeights for CscWeights {
+    type Plan = CscPlan;
+
+    fn batch_plan(&self) -> CscPlan {
+        CscPlan::default()
+    }
+
+    fn accumulate_replicas(
+        &self,
+        plan: &mut CscPlan,
+        states: &[ActivityWords],
+        out: &mut [f64],
+    ) {
+        let replicas = states.len();
+        assert_eq!(out.len(), self.rows * replicas);
+        for s in states {
+            assert_eq!(s.len(), self.cols);
+        }
+        out.fill(0.0);
+        // One pass over the sparse structure: each (row index, value) pair
+        // is loaded once per step and scattered into every active
+        // replica's lane, instead of being re-read once per replica. The
+        // per-lane row walks are sequential streams (column rows are
+        // sorted), which hardware prefetchers handle well.
+        for alpha in 0..self.cols {
+            plan.active.clear();
+            for (r, s) in states.iter().enumerate() {
+                if s.get(alpha) {
+                    plan.active.push(r as u32);
+                }
+            }
+            if plan.active.is_empty() {
+                continue;
+            }
+            for k in self.col_ptr[alpha]..self.col_ptr[alpha + 1] {
+                let row = self.row_idx[k] as usize;
+                let v = self.values[k];
+                for &r in &plan.active {
+                    out[r as usize * self.rows + row] += v;
+                }
+            }
+        }
     }
 }
 
@@ -430,6 +646,89 @@ mod tests {
         assert_eq!(d[(1, 0)], -2.0);
         assert_eq!(d[(1, 2)], 5.0);
         assert_eq!(w.row_sums(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn packed_kernel_matches_bool_kernel() {
+        // Packed word-scan accumulation is bit-for-bit equal to the
+        // boolean path, dense and CSC, across activity patterns.
+        let g = cycle(9);
+        let csc = CscWeights::trevisan(&g, 0.7);
+        let m = DMatrix::from_fn(9, 5, |i, a| (i as f64 - 3.0) * 0.31 + a as f64 * 0.17);
+        let dense = DenseWeights::from_matrix_scaled(&m, 1.0);
+        let mut out_bool = vec![0.0; 9];
+        let mut out_packed = vec![0.0; 9];
+        for pattern in 0u32..32 {
+            let active9: Vec<bool> = (0..9).map(|i| (pattern >> (i % 5)) & 1 == 1).collect();
+            csc.accumulate_active(&active9, &mut out_bool);
+            csc.accumulate_words(&ActivityWords::from_bools(&active9), &mut out_packed);
+            assert_eq!(out_bool, out_packed, "csc pattern {pattern}");
+            let active5: Vec<bool> = (0..5).map(|a| (pattern >> a) & 1 == 1).collect();
+            dense.accumulate_active(&active5, &mut out_bool);
+            dense.accumulate_words(&ActivityWords::from_bools(&active5), &mut out_packed);
+            assert_eq!(out_bool, out_packed, "dense pattern {pattern}");
+        }
+    }
+
+    fn batch_matches_sequential<W: BatchWeights>(w: &W, states: &[ActivityWords]) {
+        let n = w.neurons();
+        let replicas = states.len();
+        let mut plan = w.batch_plan();
+        let mut batched = vec![0.0; n * replicas];
+        w.accumulate_replicas(&mut plan, states, &mut batched);
+        let mut single = vec![0.0; n];
+        for (r, s) in states.iter().enumerate() {
+            w.accumulate_words(s, &mut single);
+            for i in 0..n {
+                assert_eq!(
+                    single[i].to_bits(),
+                    batched[r * n + i].to_bits(),
+                    "replica {r} neuron {i}"
+                );
+            }
+        }
+    }
+
+    fn replica_states(devices: usize, replicas: usize, salt: u64) -> Vec<ActivityWords> {
+        (0..replicas)
+            .map(|r| {
+                let bits: Vec<bool> = (0..devices)
+                    .map(|a| (a as u64 * 7 + r as u64 * 13 + salt).is_multiple_of(3))
+                    .collect();
+                ActivityWords::from_bools(&bits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_batch_pattern_mode_is_bit_exact() {
+        // cols = 4 ≤ DENSE_PATTERN_COLS → memoized pattern-table path.
+        let m = DMatrix::from_fn(11, 4, |i, a| (i * 4 + a) as f64 * 0.01 - 0.2);
+        let w = DenseWeights::from_matrix_scaled(&m, 1.3);
+        for salt in 0..4 {
+            batch_matches_sequential(&w, &replica_states(4, 9, salt));
+        }
+    }
+
+    #[test]
+    fn dense_batch_scan_mode_is_bit_exact() {
+        // cols = 9 > DENSE_PATTERN_COLS → amortized column-scan path.
+        let m = DMatrix::from_fn(7, 9, |i, a| ((i + 2) * (a + 1)) as f64 * 0.003);
+        let w = DenseWeights::from_matrix_scaled(&m, 1.0);
+        assert!(w.batch_plan().table.is_empty());
+        for salt in 0..4 {
+            batch_matches_sequential(&w, &replica_states(9, 5, salt));
+        }
+    }
+
+    #[test]
+    fn csc_batch_is_bit_exact() {
+        for g in [cycle(12), complete(6)] {
+            let w = CscWeights::trevisan(&g, 0.9);
+            for salt in 0..4 {
+                batch_matches_sequential(&w, &replica_states(g.n(), 8, salt));
+            }
+        }
     }
 
     #[test]

@@ -128,12 +128,12 @@ mod tests {
         // Warmup.
         for _ in 0..1000 {
             let s = pool.step();
-            w.accumulate_active(s, &mut current);
+            w.accumulate_words(s, &mut current);
             pop.step(&current);
         }
         for _ in 0..steps {
             let s = pool.step();
-            w.accumulate_active(s, &mut current);
+            w.accumulate_words(s, &mut current);
             pop.step(&current);
             let v = pop.potentials();
             for i in 0..3 {

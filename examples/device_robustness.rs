@@ -29,7 +29,7 @@ fn main() {
     ];
     for (name, model) in candidates {
         let mut pool = DevicePool::new(PoolSpec::uniform(model, 1), 99);
-        let bits: Vec<bool> = (0..100_000).map(|_| pool.step()[0]).collect();
+        let bits: Vec<bool> = (0..100_000).map(|_| pool.step().get(0)).collect();
         let report = StreamReport::analyze(&bits);
         println!(
             "{:<28} {:>8.4} {:>8.4} {:>10.2} {:>9.2}  {}",

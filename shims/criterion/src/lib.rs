@@ -7,12 +7,16 @@
 //! plain and the `name = …; config = …; targets = …` forms).
 //!
 //! Timing is intentionally simple — wall-clock mean over `sample_size`
-//! batches after a warm-up period, printed as `time: … ns/iter` — because
-//! the workspace's tier-1 gate only requires `cargo bench --no-run` to
-//! compile; actually running `cargo bench` still produces usable relative
-//! numbers. Statistical analysis (outlier rejection, regression detection)
-//! is deliberately out of scope; swap the real crate back in via the
-//! workspace manifest when network access is available.
+//! batches after a warm-up period, printed with the per-batch min and max
+//! as `time: [min mean max] ns/iter` — because the workspace's tier-1 gate
+//! only requires `cargo bench --no-run` to compile; actually running
+//! `cargo bench` still produces usable relative numbers, and the min/max
+//! spread flags noisy runs (a wide spread means the mean is not
+//! trustworthy and the run should be repeated; see `docs/BENCHMARKS.md`).
+//! Statistical analysis (outlier rejection, regression detection,
+//! confidence intervals) is deliberately out of scope; swap the real crate
+//! back in via the workspace manifest when network access is available.
+//! The divergences from real Criterion are catalogued in `shims/README.md`.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -71,14 +75,32 @@ impl IntoBenchmarkId for String {
     }
 }
 
+/// Per-benchmark timing summary across the measured batches.
+///
+/// `min`/`max` are per-batch means (ns per iteration within one batch), so
+/// they bound the batch-to-batch spread, not single-iteration extremes.
+/// A wide `[min, max]` interval relative to `mean` marks a noisy run whose
+/// mean should not be compared across machines or commits.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SampleSummary {
+    /// Mean wall-clock nanoseconds per iteration over all batches.
+    pub mean_ns: f64,
+    /// Fastest batch's mean nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest batch's mean nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Number of timed batches contributing to the summary.
+    pub batches: usize,
+}
+
 /// Passed to benchmark closures; [`Bencher::iter`] times the routine.
 #[derive(Debug)]
 pub struct Bencher {
     samples: usize,
     warm_up: Duration,
     measurement: Duration,
-    /// Mean wall-clock nanoseconds per iteration, filled in by `iter`.
-    mean_ns: f64,
+    /// Timing summary, filled in by `iter`.
+    summary: SampleSummary,
 }
 
 impl Bencher {
@@ -109,22 +131,42 @@ impl Bencher {
         let measure_start = Instant::now();
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let mut batches = 0usize;
         for _ in 0..self.samples {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
             }
-            total += t.elapsed();
+            let elapsed = t.elapsed();
+            let batch_ns = elapsed.as_nanos() as f64 / batch as f64;
+            min_ns = min_ns.min(batch_ns);
+            max_ns = max_ns.max(batch_ns);
+            batches += 1;
+            total += elapsed;
             iters += batch;
             if measure_start.elapsed() >= self.measurement {
                 break;
             }
         }
-        self.mean_ns = if iters == 0 {
-            0.0
+        self.summary = if iters == 0 {
+            SampleSummary::default()
         } else {
-            total.as_nanos() as f64 / iters as f64
+            SampleSummary {
+                mean_ns: total.as_nanos() as f64 / iters as f64,
+                min_ns,
+                max_ns,
+                batches,
+            }
         };
+    }
+
+    /// The timing summary of the most recent [`Bencher::iter`] call
+    /// (shim extension; real Criterion reports through its own stats
+    /// pipeline).
+    pub fn summary(&self) -> SampleSummary {
+        self.summary
     }
 }
 
@@ -170,10 +212,17 @@ impl Criterion {
             samples: self.sample_size,
             warm_up: self.warm_up,
             measurement: self.measurement,
-            mean_ns: 0.0,
+            summary: SampleSummary::default(),
         };
         f(&mut b);
-        println!("{id:<50} time: {:>12.1} ns/iter", b.mean_ns);
+        let s = b.summary;
+        // Mirrors Criterion's `[low estimate high]` display; here the
+        // bracket is the observed per-batch min/max, not a confidence
+        // interval (see shims/README.md).
+        println!(
+            "{id:<50} time: [{:>12.1} {:>12.1} {:>12.1}] ns/iter ({} batches)",
+            s.min_ns, s.mean_ns, s.max_ns, s.batches
+        );
     }
 
     /// Runs a single ungrouped benchmark.
@@ -264,6 +313,23 @@ mod tests {
             ran = true;
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn summary_orders_min_mean_max() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        let mut summary = SampleSummary::default();
+        c.bench_function("summary", |b| {
+            b.iter(|| black_box((0..100u64).sum::<u64>()));
+            summary = b.summary();
+        });
+        assert!(summary.batches >= 1);
+        assert!(summary.min_ns > 0.0);
+        assert!(summary.min_ns <= summary.mean_ns + 1e-9);
+        assert!(summary.mean_ns <= summary.max_ns + 1e-9);
     }
 
     #[test]
