@@ -1,24 +1,31 @@
-//! Hot-path bench: sequential vs batched multi-replica LIF-GW sampling.
+//! Hot-path bench: sequential vs batched multi-replica circuit sampling.
 //!
 //! The packed-state/batched-stepping rework claims ≥2× single-core
 //! throughput on `parallel_best_traces`-style workloads at R ≥ 8 replicas
-//! on a paper-scale Figure-4 graph. This bench measures exactly that
-//! claim on the smallest Fig.-4 instance (road-chesapeake, n = 39), plus
-//! the packed synaptic kernels in isolation, and — before any timing —
-//! asserts that the batched replica traces are bit-for-bit identical to
-//! the sequential ones, so a correctness regression in the hot path fails
-//! the CI smoke run loudly rather than producing fast wrong numbers.
+//! on a paper-scale Figure-4 graph. This bench measures that claim for
+//! **both** circuit families on the smallest Fig.-4 instance
+//! (road-chesapeake, n = 39): LIF-GW (`BatchedLifGwCircuit`) and
+//! LIF-Trevisan with its batched SoA Oja plasticity pass
+//! (`BatchedLifTrevisanCircuit`). It also times the packed synaptic
+//! kernels in isolation and the CSC shared-traversal
+//! `accumulate_replicas` kernel at paper scale (G(500, 0.1), the largest
+//! Fig.-3 corner). Before any timing it asserts that every batched
+//! replica trace is bit-for-bit identical to the sequential one, so a
+//! correctness regression in the hot path fails the CI smoke run loudly
+//! rather than producing fast wrong numbers.
 //!
 //! Record results per `docs/BENCHMARKS.md` (methodology, shim caveats,
-//! and the `results/BENCH_*.json` ledger).
+//! and the `results/BENCH_*.json` ledger); set `CRITERION_SHIM_JSON` to
+//! capture the raw numbers without hand-copying.
 
-use bench::{fig4_smallest, sdp_factors};
+use bench::{fig4_smallest, paper_scale_er, sdp_factors};
 use criterion::{criterion_group, criterion_main, Criterion};
-use snc_devices::{DeviceModel, DevicePool, PoolSpec};
+use snc_devices::{ActivityWords, DeviceModel, DevicePool, PoolSpec};
 use snc_maxcut::{
-    log2_checkpoints, parallel_best_traces, BatchedLifGwCircuit, LifGwCircuit, LifGwConfig,
+    log2_checkpoints, parallel_best_traces, BatchedLifGwCircuit, BatchedLifTrevisanCircuit,
+    LifGwCircuit, LifGwConfig, LifTrevisanCircuit, LifTrevisanConfig,
 };
-use snc_neuro::{CscWeights, DenseWeights, InputWeights};
+use snc_neuro::{BatchWeights, CscWeights, DenseWeights, InputWeights};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -74,6 +81,107 @@ fn sequential_vs_batched(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+/// LIF-Trevisan: sequential replicas vs the batched two-stage network
+/// (shared CSC traversal + SoA plasticity). Sample budget SAMPLES per
+/// replica; each LIF-TR sample is one plasticity update = 10 time steps
+/// at the default `plasticity_interval`.
+fn lif_tr_sequential_vs_batched(c: &mut Criterion) {
+    let graph = fig4_smallest();
+    let cfg = LifTrevisanConfig::default();
+    let cp = log2_checkpoints(SAMPLES);
+
+    // Loud correctness gate: batched == sequential, bit for bit.
+    for r in [8usize, 16] {
+        let seeds = replica_seeds(r);
+        let reference = parallel_best_traces(
+            |i| LifTrevisanCircuit::new(&graph, seeds[i], &cfg),
+            &graph,
+            &cp,
+            r,
+            1,
+        );
+        let batched =
+            BatchedLifTrevisanCircuit::new(&graph, &seeds, &cfg).best_traces(&graph, &cp);
+        assert_eq!(
+            batched, reference,
+            "batched LIF-TR traces diverged from sequential at R={r}"
+        );
+    }
+
+    let mut group = c.benchmark_group("lif_tr_best_traces_n39");
+    for r in [8usize, 16] {
+        let seeds = replica_seeds(r);
+        group.bench_function(format!("sequential_R{r}"), |b| {
+            b.iter(|| {
+                parallel_best_traces(
+                    |i| LifTrevisanCircuit::new(&graph, seeds[i], &cfg),
+                    &graph,
+                    &cp,
+                    seeds.len(),
+                    1,
+                )
+            })
+        });
+        group.bench_function(format!("batched_R{r}"), |b| {
+            b.iter(|| {
+                BatchedLifTrevisanCircuit::new(&graph, &seeds, &cfg).best_traces(&graph, &cp)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The CSC shared-traversal kernel at paper scale: one
+/// `accumulate_replicas` pass over G(500, 0.1)'s Trevisan matrix for R
+/// replicas vs R independent `accumulate_words` traversals — the
+/// per-step stage-1 cost of the batched vs sequential LIF-TR circuit on
+/// the largest Fig.-3 corner.
+fn csc_accumulate_paper_scale(c: &mut Criterion) {
+    let graph = paper_scale_er();
+    let n = graph.n();
+    let w = CscWeights::trevisan(&graph, 1.0);
+    const R: usize = 8;
+    let states: Vec<ActivityWords> = (0..R)
+        .map(|r| {
+            let mut pool = DevicePool::new(PoolSpec::uniform(DeviceModel::fair(), n), 0xC5C + r as u64);
+            pool.step().clone()
+        })
+        .collect();
+
+    // Correctness gate: shared traversal == per-replica traversals
+    // (CSC batched output is neuron-major interleaved: out[i*R + r]).
+    let mut plan = w.batch_plan();
+    let mut batched = vec![0.0; n * R];
+    w.accumulate_replicas(&mut plan, &states, &mut batched);
+    let mut single = vec![0.0; n];
+    for (r, s) in states.iter().enumerate() {
+        w.accumulate_words(s, &mut single);
+        for i in 0..n {
+            assert_eq!(
+                single[i].to_bits(),
+                batched[i * R + r].to_bits(),
+                "shared CSC traversal diverged at replica {r} neuron {i}"
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("csc_accumulate_n500");
+    group.bench_function(format!("per_replica_R{R}"), |b| {
+        let mut out = vec![0.0; n];
+        b.iter(|| {
+            for s in &states {
+                w.accumulate_words(black_box(s), &mut out);
+            }
+        })
+    });
+    group.bench_function(format!("shared_traversal_R{R}"), |b| {
+        let mut plan = w.batch_plan();
+        let mut out = vec![0.0; n * R];
+        b.iter(|| w.accumulate_replicas(&mut plan, black_box(&states), &mut out))
+    });
     group.finish();
 }
 
@@ -137,6 +245,7 @@ criterion_group! {
         .sample_size(12)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(3));
-    targets = sequential_vs_batched, packed_kernels
+    targets = sequential_vs_batched, lif_tr_sequential_vs_batched,
+        csc_accumulate_paper_scale, packed_kernels
 }
 criterion_main!(benches);

@@ -44,3 +44,12 @@ pub fn fig4_smallest() -> Graph {
         .load()
         .expect("bundled dataset loads")
 }
+
+/// The paper-scale Figure-3 corner instance: G(500, 0.1), the largest
+/// vertex count in the paper's Erdős–Rényi sweep at its sparsest
+/// connection probability (~12.5k edges). Used to measure the CSC
+/// shared-traversal kernels at the n ≥ 500 scale the BENCHMARKS ledger
+/// records.
+pub fn paper_scale_er() -> Graph {
+    er_graph(500, 0.1)
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p snc-experiments --bin fig3 -- [--quick|--paper] \
-//!     [--samples N] [--threads N] [--seed N] [--out DIR]
+//!     [--samples N] [--threads N] [--replicas N] [--seed N] [--out DIR]
 //! ```
 //!
 //! Writes `fig3_curves.csv` (long format, one row per solver × panel ×
@@ -23,12 +23,13 @@ fn main() {
     };
     let scale = cli.scale;
     eprintln!(
-        "fig3: n in {:?}, p in {:?}, {} graphs/cell, {} samples/circuit, {} threads",
+        "fig3: n in {:?}, p in {:?}, {} graphs/cell, {} samples/circuit, {} threads × {} replicas/batch",
         scale.fig3_ns(),
         scale.fig3_ps(),
         scale.graphs_per_cell(),
         cli.suite.sample_budget,
-        cli.suite.threads
+        cli.suite.threads,
+        cli.suite.replicas
     );
     let result = run_fig3(
         &scale.fig3_ns(),

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p snc-experiments --bin fig4 -- [--quick|--paper] \
-//!     [--samples N] [--threads N] [--seed N] [--out DIR]
+//!     [--samples N] [--threads N] [--replicas N] [--seed N] [--out DIR]
 //! ```
 
 use snc_experiments::config::CliArgs;
@@ -28,10 +28,11 @@ fn main() {
         _ => EmpiricalDataset::all().to_vec(),
     };
     eprintln!(
-        "fig4: {} graphs, {} samples/circuit, {} threads",
+        "fig4: {} graphs, {} samples/circuit, {} threads × {} replicas/batch",
         datasets.len(),
         cli.suite.sample_budget,
-        cli.suite.threads
+        cli.suite.threads,
+        cli.suite.replicas
     );
     let result = run_fig4(&datasets, &cli.suite, true);
     let path = cli.out_dir.join("fig4_curves.csv");

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p snc-experiments --bin table1 -- [--quick|--paper] \
-//!     [--samples N] [--threads N] [--seed N] [--out DIR]
+//!     [--samples N] [--threads N] [--replicas N] [--seed N] [--out DIR]
 //! ```
 
 use snc_experiments::config::CliArgs;
@@ -27,10 +27,11 @@ fn main() {
         _ => EmpiricalDataset::all().to_vec(),
     };
     eprintln!(
-        "table1: {} graphs, {} samples/circuit, {} threads",
+        "table1: {} graphs, {} samples/circuit, {} threads × {} replicas/batch",
         datasets.len(),
         cli.suite.sample_budget,
-        cli.suite.threads
+        cli.suite.threads,
+        cli.suite.replicas
     );
     let result = run_table1(&datasets, &cli.suite, true);
     let table = result.to_table();

@@ -51,12 +51,27 @@ impl ExperimentScale {
 /// Configuration shared by every experiment: solver settings and budgets.
 #[derive(Clone, Debug)]
 pub struct SuiteConfig {
-    /// Per-circuit sample budget.
+    /// Per-circuit sample budget (total across replicas).
     pub sample_budget: u64,
     /// Master seed.
     pub seed: u64,
     /// Worker threads for graph-level parallelism.
     pub threads: usize,
+    /// Lock-stepped circuit replicas per neuromorphic solver (the
+    /// `ReplicaBatch` width each worker schedules). `1` reproduces the
+    /// paper's single-circuit traces bit-for-bit on the batched stepper;
+    /// `R > 1` models R hardware circuits sampling concurrently: the
+    /// sample budget is split across replicas and the per-replica
+    /// best-so-far traces are merged into one total-samples trace.
+    ///
+    /// The width is capped at the sample budget, and when the budget is
+    /// not divisible by the (effective) width the merged circuit traces
+    /// end at `⌊budget/R⌋·R ≤ budget` total samples — never more than
+    /// the software baselines' budget. Divisible budgets (the power-of-2
+    /// presets with power-of-2 widths) are exact. The robustness study
+    /// ignores this knob: its sensitive statistic is the per-sample mean
+    /// of one circuit's stream.
+    pub replicas: usize,
     /// SDP rank (4 in the paper, §IV.A).
     pub sdp_rank: usize,
     /// LIF parameters used by both circuits in the experiments.
@@ -75,6 +90,7 @@ impl SuiteConfig {
             sample_budget: scale.sample_budget(),
             seed: 0x5AC5,
             threads: snc_neuro::parallel::default_threads(),
+            replicas: 1,
             sdp_rank: 4,
             lif: LifParams {
                 r: 1.0,
@@ -89,7 +105,8 @@ impl SuiteConfig {
 /// Minimal CLI argument parsing shared by the experiment binaries.
 ///
 /// Recognized flags: `--quick`, `--paper`, `--samples N`, `--threads N`,
-/// `--seed N`, `--out DIR`. Unknown flags abort with a usage message.
+/// `--replicas N`, `--seed N`, `--out DIR`. Unknown flags abort with a
+/// usage message.
 #[derive(Clone, Debug)]
 pub struct CliArgs {
     /// Resolved suite configuration.
@@ -111,6 +128,7 @@ impl CliArgs {
         let mut scale = ExperimentScale::Standard;
         let mut samples: Option<u64> = None;
         let mut threads: Option<usize> = None;
+        let mut replicas: Option<usize> = None;
         let mut seed: Option<u64> = None;
         let mut out_dir = std::path::PathBuf::from("results");
         let mut it = args.iter();
@@ -134,6 +152,14 @@ impl CliArgs {
                             .map_err(|_| "--threads must be an integer")?,
                     );
                 }
+                "--replicas" => {
+                    replicas = Some(
+                        it.next()
+                            .ok_or("--replicas needs a value")?
+                            .parse()
+                            .map_err(|_| "--replicas must be an integer")?,
+                    );
+                }
                 "--seed" => {
                     seed = Some(
                         it.next()
@@ -147,7 +173,7 @@ impl CliArgs {
                 }
                 other => {
                     return Err(format!(
-                        "unknown flag `{other}`\nusage: [--quick|--paper] [--samples N] [--threads N] [--seed N] [--out DIR]"
+                        "unknown flag `{other}`\nusage: [--quick|--paper] [--samples N] [--threads N] [--replicas N] [--seed N] [--out DIR]"
                     ));
                 }
             }
@@ -158,6 +184,9 @@ impl CliArgs {
         }
         if let Some(t) = threads {
             suite.threads = t.max(1);
+        }
+        if let Some(r) = replicas {
+            suite.replicas = r.max(1);
         }
         if let Some(s) = seed {
             suite.seed = s;
@@ -191,6 +220,7 @@ mod tests {
     fn cli_defaults_and_overrides() {
         let a = CliArgs::parse(&strs(&[])).unwrap();
         assert_eq!(a.scale, ExperimentScale::Standard);
+        assert_eq!(a.suite.replicas, 1);
         let a = CliArgs::parse(&strs(&["--quick", "--samples", "64", "--threads", "2"])).unwrap();
         assert_eq!(a.scale, ExperimentScale::Quick);
         assert_eq!(a.suite.sample_budget, 64);
@@ -198,6 +228,10 @@ mod tests {
         let a = CliArgs::parse(&strs(&["--out", "/tmp/x", "--seed", "9"])).unwrap();
         assert_eq!(a.out_dir, std::path::PathBuf::from("/tmp/x"));
         assert_eq!(a.suite.seed, 9);
+        let a = CliArgs::parse(&strs(&["--replicas", "8"])).unwrap();
+        assert_eq!(a.suite.replicas, 8);
+        let a = CliArgs::parse(&strs(&["--replicas", "0"])).unwrap();
+        assert_eq!(a.suite.replicas, 1, "replicas clamps to ≥ 1");
     }
 
     #[test]

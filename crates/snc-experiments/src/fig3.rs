@@ -81,9 +81,19 @@ pub fn run_fig3(
                 .map(|(_, _, t)| t)
                 .collect();
             assert!(!cell.is_empty());
-            let checkpoints = cell[0].solver.checkpoints.clone();
             let mut curves = Vec::new();
             for key in ["lif_gw", "lif_tr", "solver", "random"] {
+                // Each solver aggregates on its own checkpoint grid: with
+                // `replicas > 1` the circuit traces sit on a merged
+                // total-samples grid that differs from the software one.
+                let checkpoints = cell[0]
+                    .named()
+                    .iter()
+                    .find(|(name, _)| *name == key)
+                    .expect("known key")
+                    .1
+                    .checkpoints
+                    .clone();
                 let per_graph: Vec<Vec<f64>> = cell
                     .iter()
                     .map(|t| {
@@ -181,6 +191,29 @@ mod tests {
         for (_, c) in &panel.curves {
             assert!(c.mean.windows(2).all(|w| w[0] <= w[1] + 1e-12));
         }
+    }
+
+    #[test]
+    fn replicated_run_uses_per_solver_grids() {
+        // With replicas > 1 the circuit curves sit on the merged
+        // total-samples grid while software curves keep the full grid;
+        // both end at the same total budget.
+        let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+        cfg.sample_budget = 64;
+        cfg.threads = 1;
+        cfg.replicas = 4;
+        let result = run_fig3(&[12], &[0.5], 2, &cfg, false);
+        let panel = &result.panels[0];
+        let get = |key: &str| -> &AggregateCurve {
+            &panel.curves.iter().find(|(n, _)| *n == key).unwrap().1
+        };
+        assert_eq!(get("solver").checkpoints.len(), 7); // 1..64
+        assert_eq!(get("lif_gw").checkpoints.len(), 5); // 4·(1..16)
+        assert_eq!(get("lif_gw").checkpoints.last(), Some(&64));
+        assert_eq!(get("lif_tr").checkpoints.last(), Some(&64));
+        // The long-format table still serializes every curve row.
+        let t = result.to_table();
+        assert_eq!(t.rows.len(), 7 + 5 + 7 + 5);
     }
 
     #[test]

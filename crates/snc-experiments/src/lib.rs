@@ -11,12 +11,17 @@
 //! * [`robustness`] — the device-imperfection study the Discussion (§VI)
 //!   sketches: biased, cross-correlated, and drifting devices.
 //!
-//! Shared machinery: [`suite`] (runs all four solvers on one graph),
-//! [`runner`] (a progress-reporting parallel job queue), [`report`]
-//! (CSV/Markdown emission), [`config`] (paper-exact and quick presets).
+//! Shared machinery: [`suite`] (runs all four solvers on one graph,
+//! scheduling the neuromorphic circuits as batched `ReplicaBatch` units —
+//! threads × batch width), [`runner`] (a progress-reporting parallel job
+//! queue), [`report`] (CSV/Markdown emission), [`config`] (paper-exact
+//! and quick presets).
 //!
 //! Binaries: `fig3`, `fig4`, `table1`, `robustness` — each accepts
-//! `--quick`, `--paper`, `--samples N`, `--threads N`, `--out DIR`.
+//! `--quick`, `--paper`, `--samples N`, `--threads N`, `--seed N`,
+//! `--out DIR`; the figure/table binaries also honor `--replicas N`
+//! (`robustness` parses but ignores it — its mean statistic is defined
+//! over one circuit's sample stream).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

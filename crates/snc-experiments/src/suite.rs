@@ -9,14 +9,32 @@
 //! * the LIF-GW circuit seeded from the same SDP factors — blue,
 //! * the LIF-Trevisan circuit (no offline work) — orange,
 //! * uniform random cuts — red.
+//!
+//! ## Batched replicas
+//!
+//! Both neuromorphic circuits run on the batched multi-replica steppers
+//! ([`BatchedLifGwCircuit`], [`BatchedLifTrevisanCircuit`]): each
+//! `JobRunner` worker thread advances one `ReplicaBatch` unit of
+//! [`SuiteConfig::replicas`] lock-stepped circuit replicas, so the full
+//! experiment layout is *threads × batch width*. With `replicas == 1` the
+//! trace is bit-for-bit the sequential circuit's (the batched steppers'
+//! equivalence contract); with `replicas = R > 1` the budget is split
+//! across R replicas — the hardware reading: R physical circuits sampling
+//! concurrently — and the per-replica traces are merged into one
+//! total-samples trace with [`merge_traces`]. For the memoryless samplers
+//! (LIF-GW) the merged curve is distributed exactly like a single
+//! circuit's at the same total sample count; for LIF-Trevisan each replica
+//! learns independently, so large R trades per-replica learning depth for
+//! wall-clock.
 
 use crate::config::SuiteConfig;
 use snc_devices::SplitMix64;
 use snc_graph::Graph;
 use snc_linalg::{LinalgError, SdpConfig};
 use snc_maxcut::{
-    log2_checkpoints, sample_best_trace, BestTrace, GwConfig, GwSampler, LifGwCircuit,
-    LifGwConfig, LifTrevisanCircuit, LifTrevisanConfig, RandomCutSampler,
+    log2_checkpoints, merge_traces, sample_best_trace, BatchedLifGwCircuit,
+    BatchedLifTrevisanCircuit, BestTrace, GwConfig, GwSampler, LifGwConfig, LifTrevisanConfig,
+    RandomCutSampler,
 };
 
 /// Best-so-far traces of all four solvers on one graph.
@@ -37,6 +55,10 @@ pub struct SuiteTraces {
 impl SuiteTraces {
     /// The four traces with their display names, in the paper's legend
     /// order.
+    ///
+    /// With `replicas > 1` the circuit traces sit on a merged
+    /// total-samples checkpoint grid, which can differ from the software
+    /// traces' grid — consumers must read each trace's own `checkpoints`.
     pub fn named(&self) -> [(&'static str, &BestTrace); 4] {
         [
             ("lif_gw", &self.lif_gw),
@@ -47,6 +69,37 @@ impl SuiteTraces {
     }
 }
 
+/// Deterministic replica seed ladder rooted at `base`.
+///
+/// A single replica uses `base` itself, so `replicas == 1` consumes
+/// exactly the seed stream the pre-batching sequential harness did and
+/// reproduces its traces bit-for-bit.
+fn replica_seeds(base: u64, replicas: usize) -> Vec<u64> {
+    if replicas <= 1 {
+        vec![base]
+    } else {
+        (0..replicas as u64)
+            .map(|r| SplitMix64::derive(base, r))
+            .collect()
+    }
+}
+
+/// The effective batch width for a total budget: never more replicas
+/// than samples, so the merged trace cannot exceed the budget.
+fn effective_replicas(budget: u64, replicas: usize) -> usize {
+    replicas.max(1).min(budget.max(1) as usize)
+}
+
+/// The per-replica checkpoint grid for a total budget split `replicas`
+/// ways. When the budget is not divisible by the batch width the merged
+/// circuit trace ends at `⌊budget/R⌋·R ≤ budget` (documented on
+/// [`SuiteConfig::replicas`]); `effective_replicas` guarantees at least
+/// one sample per replica without overshooting. A zero budget draws
+/// zero circuit samples (empty grid), like the software baselines.
+fn replica_checkpoints(budget: u64, replicas: usize) -> Vec<u64> {
+    log2_checkpoints(budget / effective_replicas(budget, replicas) as u64)
+}
+
 /// Runs all four solvers on a graph with a deterministic seed ladder.
 ///
 /// # Errors
@@ -54,6 +107,8 @@ impl SuiteTraces {
 /// Propagates SDP solver failures.
 pub fn run_suite(graph: &Graph, cfg: &SuiteConfig, graph_seed: u64) -> Result<SuiteTraces, LinalgError> {
     let checkpoints = log2_checkpoints(cfg.sample_budget);
+    let replicas = effective_replicas(cfg.sample_budget, cfg.replicas);
+    let replica_cp = replica_checkpoints(cfg.sample_budget, cfg.replicas);
     let sdp_cfg = SdpConfig {
         rank: cfg.sdp_rank,
         seed: SplitMix64::derive(graph_seed, 1),
@@ -65,16 +120,16 @@ pub fn run_suite(graph: &Graph, cfg: &SuiteConfig, graph_seed: u64) -> Result<Su
     let mut software = GwSampler::new(gw.factors.clone(), SplitMix64::derive(graph_seed, 2));
     let solver = sample_best_trace(&mut software, graph, &checkpoints);
 
-    // LIF-GW circuit from the same factors.
+    // LIF-GW circuit from the same factors, on the batched stepper.
     let lif_gw_cfg = LifGwConfig {
         lif: cfg.lif,
         ..LifGwConfig::default()
     };
-    let mut lif_gw_circuit =
-        LifGwCircuit::new(&gw.factors, SplitMix64::derive(graph_seed, 3), &lif_gw_cfg);
-    let lif_gw = sample_best_trace(&mut lif_gw_circuit, graph, &checkpoints);
+    let gw_seeds = replica_seeds(SplitMix64::derive(graph_seed, 3), replicas);
+    let mut lif_gw_batch = BatchedLifGwCircuit::new(&gw.factors, &gw_seeds, &lif_gw_cfg);
+    let lif_gw = merge_traces(&lif_gw_batch.best_traces(graph, &replica_cp));
 
-    // LIF-Trevisan circuit (entirely online).
+    // LIF-Trevisan circuit (entirely online), on the batched stepper.
     let lif_tr_cfg = LifTrevisanConfig {
         network: snc_neuro::TwoStageConfig {
             lif: cfg.lif,
@@ -82,9 +137,9 @@ pub fn run_suite(graph: &Graph, cfg: &SuiteConfig, graph_seed: u64) -> Result<Su
         },
         ..LifTrevisanConfig::default()
     };
-    let mut lif_tr_circuit =
-        LifTrevisanCircuit::new(graph, SplitMix64::derive(graph_seed, 4), &lif_tr_cfg);
-    let lif_tr = sample_best_trace(&mut lif_tr_circuit, graph, &checkpoints);
+    let tr_seeds = replica_seeds(SplitMix64::derive(graph_seed, 4), replicas);
+    let mut lif_tr_batch = BatchedLifTrevisanCircuit::new(graph, &tr_seeds, &lif_tr_cfg);
+    let lif_tr = merge_traces(&lif_tr_batch.best_traces(graph, &replica_cp));
 
     // Random baseline.
     let mut random_sampler =
@@ -105,6 +160,7 @@ mod tests {
     use super::*;
     use crate::config::{ExperimentScale, SuiteConfig};
     use snc_graph::generators::erdos_renyi::gnp;
+    use snc_maxcut::{LifGwCircuit, LifTrevisanCircuit};
 
     #[test]
     fn suite_produces_consistent_traces() {
@@ -138,5 +194,86 @@ mod tests {
         assert_eq!(a.lif_gw, b.lif_gw);
         assert_eq!(a.lif_tr, b.lif_tr);
         assert_eq!(a.random, b.random);
+    }
+
+    /// The batched harness at `replicas == 1` must reproduce the
+    /// sequential circuits' traces bit-for-bit (same seed ladder, same
+    /// checkpoint grid) — the batched steppers change the schedule, never
+    /// the numbers.
+    #[test]
+    fn single_replica_suite_matches_sequential_circuits() {
+        let g = gnp(18, 0.4, 11).unwrap();
+        let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+        cfg.sample_budget = 64;
+        assert_eq!(cfg.replicas, 1);
+        let traces = run_suite(&g, &cfg, 33).unwrap();
+        let checkpoints = log2_checkpoints(cfg.sample_budget);
+
+        let sdp_cfg = SdpConfig {
+            rank: cfg.sdp_rank,
+            seed: SplitMix64::derive(33, 1),
+            ..SdpConfig::default()
+        };
+        let gw = snc_maxcut::gw::solve_gw(&g, &GwConfig { sdp: sdp_cfg }).unwrap();
+        let lif_gw_cfg = LifGwConfig { lif: cfg.lif, ..LifGwConfig::default() };
+        let mut seq_gw = LifGwCircuit::new(&gw.factors, SplitMix64::derive(33, 3), &lif_gw_cfg);
+        assert_eq!(traces.lif_gw, sample_best_trace(&mut seq_gw, &g, &checkpoints));
+
+        let lif_tr_cfg = LifTrevisanConfig {
+            network: snc_neuro::TwoStageConfig {
+                lif: cfg.lif,
+                ..snc_neuro::TwoStageConfig::default()
+            },
+            ..LifTrevisanConfig::default()
+        };
+        let mut seq_tr = LifTrevisanCircuit::new(&g, SplitMix64::derive(33, 4), &lif_tr_cfg);
+        assert_eq!(traces.lif_tr, sample_best_trace(&mut seq_tr, &g, &checkpoints));
+    }
+
+    #[test]
+    fn multi_replica_suite_merges_budget() {
+        let g = gnp(24, 0.4, 5).unwrap();
+        let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+        cfg.sample_budget = 256;
+        cfg.replicas = 8;
+        let traces = run_suite(&g, &cfg, 13).unwrap();
+        // Circuit grids are merged total-sample counts ending at the
+        // budget; software grids are untouched.
+        assert_eq!(traces.lif_gw.checkpoints.last(), Some(&256));
+        assert_eq!(traces.lif_tr.checkpoints.last(), Some(&256));
+        assert_eq!(traces.lif_gw.checkpoints, log2_checkpoints(32).iter().map(|c| c * 8).collect::<Vec<_>>());
+        assert_eq!(traces.solver.checkpoints, log2_checkpoints(256));
+        for (name, t) in traces.named() {
+            assert!(t.best.windows(2).all(|w| w[0] <= w[1]), "{name} not monotone");
+            assert!(t.final_best() <= g.m() as u64, "{name} exceeds m");
+        }
+        // Determinism holds for the batched path too.
+        let again = run_suite(&g, &cfg, 13).unwrap();
+        assert_eq!(traces.lif_gw, again.lif_gw);
+        assert_eq!(traces.lif_tr, again.lif_tr);
+    }
+
+    #[test]
+    fn awkward_budget_replica_combinations_never_overshoot() {
+        // Indivisible budget: merged trace ends at ⌊B/R⌋·R ≤ B.
+        assert_eq!(replica_checkpoints(1000, 16).last(), Some(&62));
+        assert_eq!(effective_replicas(1000, 16), 16); // 62·16 = 992 ≤ 1000
+        // More replicas than samples: width capped at the budget.
+        assert_eq!(effective_replicas(4, 8), 4);
+        assert_eq!(replica_checkpoints(4, 8).last(), Some(&1)); // 1·4 = 4
+        // Degenerate inputs stay sane: zero budget draws zero circuit
+        // samples, exactly like the software baselines.
+        assert_eq!(effective_replicas(0, 8), 1);
+        assert_eq!(effective_replicas(64, 0), 1);
+        assert!(replica_checkpoints(0, 8).is_empty());
+        let g = gnp(12, 0.5, 2).unwrap();
+        let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+        cfg.sample_budget = 10;
+        cfg.replicas = 4;
+        let traces = run_suite(&g, &cfg, 5).unwrap();
+        // 4 replicas × ⌊10/4⌋ = 8 total circuit samples, ≤ budget.
+        assert_eq!(traces.lif_gw.checkpoints.last(), Some(&8));
+        assert_eq!(traces.lif_tr.checkpoints.last(), Some(&8));
+        assert_eq!(traces.solver.checkpoints.last(), Some(&10));
     }
 }

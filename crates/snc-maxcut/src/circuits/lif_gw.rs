@@ -15,7 +15,7 @@
 
 use crate::sampling::{BestTrace, CutSampler};
 use snc_devices::{CommonCause, DeviceModel, DevicePool, PoolSpec};
-use snc_graph::{CutAssignment, CutTracker, Graph};
+use snc_graph::{CutAssignment, Graph};
 use snc_linalg::DMatrix;
 use snc_neuro::{DenseWeights, DeviceDrivenNetwork, LifParams, ReplicaBatch, Reset};
 
@@ -210,7 +210,24 @@ impl BatchedLifGwCircuit {
     /// output.
     ///
     /// Cut values are maintained per replica with an incremental
-    /// [`CutTracker`], like the sequential sampling loop.
+    /// [`snc_graph::CutTracker`], like the sequential sampling loop.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snc_graph::generators::structured::complete_bipartite;
+    /// use snc_maxcut::{log2_checkpoints, solve_gw, BatchedLifGwCircuit, GwConfig, LifGwConfig};
+    ///
+    /// let g = complete_bipartite(3, 3);
+    /// let factors = solve_gw(&g, &GwConfig::default()).unwrap().factors;
+    /// let mut batch = BatchedLifGwCircuit::new(&factors, &[7, 8, 9], &LifGwConfig::default());
+    /// let traces = batch.best_traces(&g, &log2_checkpoints(8));
+    /// // One best-so-far trace per replica on the shared sample grid.
+    /// assert_eq!(traces.len(), 3);
+    /// assert!(traces.iter().all(|t| t.checkpoints == log2_checkpoints(8)));
+    /// // On K_{3,3} nearly every sample is the exact cut (9 edges).
+    /// assert!(traces.iter().any(|t| t.final_best() == 9));
+    /// ```
     ///
     /// # Panics
     ///
@@ -218,37 +235,15 @@ impl BatchedLifGwCircuit {
     /// `checkpoints` is not strictly ascending.
     pub fn best_traces(&mut self, graph: &Graph, checkpoints: &[u64]) -> Vec<BestTrace> {
         assert_eq!(graph.n(), self.n(), "graph/circuit size mismatch");
-        assert!(
-            checkpoints.windows(2).all(|w| w[0] < w[1]),
-            "checkpoints must be strictly ascending"
-        );
         let replicas = self.replicas();
-        let mut trackers: Vec<Option<CutTracker<'_>>> = (0..replicas).map(|_| None).collect();
-        let mut best = vec![0u64; replicas];
-        let mut out: Vec<Vec<u64>> = vec![Vec::with_capacity(checkpoints.len()); replicas];
         let mut spikes = vec![false; graph.n()];
-        let mut drawn = 0u64;
-        for &cp in checkpoints {
-            while drawn < cp {
-                self.batch.step_many(self.decorrelate);
-                for (r, tracker) in trackers.iter_mut().enumerate() {
-                    self.batch.spiked_into(r, &mut spikes);
-                    let value =
-                        crate::sampling::tracked_value_from_spikes(tracker, graph, &spikes);
-                    best[r] = best[r].max(value);
-                }
-                drawn += 1;
+        crate::sampling::batched_best_traces(checkpoints, replicas, |trackers, values| {
+            self.batch.step_many(self.decorrelate);
+            for (r, (tracker, value)) in trackers.iter_mut().zip(values.iter_mut()).enumerate() {
+                self.batch.spiked_into(r, &mut spikes);
+                *value = crate::sampling::tracked_value_from_spikes(tracker, graph, &spikes);
             }
-            for (r, trace) in out.iter_mut().enumerate() {
-                trace.push(best[r]);
-            }
-        }
-        out.into_iter()
-            .map(|b| BestTrace {
-                checkpoints: checkpoints.to_vec(),
-                best: b,
-            })
-            .collect()
+        })
     }
 }
 

@@ -14,10 +14,10 @@
 //! the best-so-far curves *improve over time as learning proceeds*, the
 //! characteristic shape of the orange curves in Figs. 3–4.
 
-use crate::sampling::CutSampler;
+use crate::sampling::{BestTrace, CutSampler};
 use snc_devices::{CommonCause, DeviceModel};
 use snc_graph::{CutAssignment, Graph};
-use snc_neuro::{TwoStageConfig, TwoStageNetwork};
+use snc_neuro::{BatchedTwoStageNetwork, TwoStageConfig, TwoStageNetwork};
 
 /// Configuration of the LIF-Trevisan circuit sampler.
 #[derive(Clone, Debug)]
@@ -91,6 +91,125 @@ impl CutSampler for LifTrevisanCircuit {
     fn next_cut(&mut self) -> CutAssignment {
         self.net.run_updates(self.updates_per_sample);
         self.current_cut()
+    }
+}
+
+/// `R` LIF-Trevisan replicas advanced in lock-step, structure-of-arrays.
+///
+/// Each replica is an independent [`LifTrevisanCircuit`] (own device seed
+/// and plastic readout vector, same graph and configuration), but all
+/// replicas share one traversal of the sparse Trevisan weight matrix per
+/// time step and one SoA Oja plasticity pass per update, via
+/// [`BatchedTwoStageNetwork`]. Replica `r`'s sample stream is bit-for-bit
+/// identical to `LifTrevisanCircuit::new(graph, seeds[r], cfg)` — batching
+/// changes the schedule, never the samples — which the equivalence tests
+/// pin for R ∈ {1, 8, 16}.
+///
+/// # Examples
+///
+/// ```
+/// use snc_graph::generators::structured::cycle;
+/// use snc_maxcut::{log2_checkpoints, BatchedLifTrevisanCircuit, LifTrevisanConfig};
+///
+/// let g = cycle(10);
+/// let mut batch = BatchedLifTrevisanCircuit::new(&g, &[1, 2, 3, 4], &LifTrevisanConfig::default());
+/// assert_eq!((batch.replicas(), batch.n()), (4, 10));
+/// // One best-so-far learning curve per replica on a shared sample grid.
+/// let traces = batch.best_traces(&g, &log2_checkpoints(8));
+/// assert_eq!(traces.len(), 4);
+/// assert!(traces.iter().all(|t| t.final_best() <= g.m() as u64));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchedLifTrevisanCircuit {
+    net: BatchedTwoStageNetwork,
+    updates_per_sample: u64,
+}
+
+impl BatchedLifTrevisanCircuit {
+    /// Builds one replica per seed, mirroring [`LifTrevisanCircuit::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn new(graph: &Graph, seeds: &[u64], cfg: &LifTrevisanConfig) -> Self {
+        let net = BatchedTwoStageNetwork::with_devices(
+            graph,
+            cfg.device.clone(),
+            cfg.common_cause,
+            seeds,
+            cfg.network,
+        );
+        Self {
+            net,
+            updates_per_sample: cfg.updates_per_sample.max(1),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.net.replicas()
+    }
+
+    /// Number of vertices (= neurons = devices) per replica.
+    pub fn n(&self) -> usize {
+        self.net.n()
+    }
+
+    /// Total plasticity updates applied to every replica.
+    pub fn updates(&self) -> u64 {
+        self.net.updates()
+    }
+
+    /// Replica `r`'s current plastic weight vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn readout_weights(&self, r: usize) -> &[f64] {
+        self.net.readout_weights(r)
+    }
+
+    /// Replica `r`'s current cut hypothesis without advancing time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn current_cut(&self, r: usize) -> CutAssignment {
+        CutAssignment::from_signs(self.net.readout_weights(r))
+    }
+
+    /// Advances all replicas to the next sample and returns one cut per
+    /// replica (index `r` corresponds to `seeds[r]`).
+    pub fn next_cuts(&mut self) -> Vec<CutAssignment> {
+        self.net.run_updates(self.updates_per_sample);
+        (0..self.replicas()).map(|r| self.current_cut(r)).collect()
+    }
+
+    /// Runs every replica against the shared checkpoint grid and returns
+    /// one best-so-far trace per replica — the batched, single-core
+    /// equivalent of [`crate::sampling::parallel_best_traces`] over
+    /// [`LifTrevisanCircuit`] factories with the same seeds, with
+    /// identical output.
+    ///
+    /// Cut values are maintained per replica with an incremental
+    /// [`snc_graph::CutTracker`], like the sequential sampling loop — a
+    /// natural fit here because consecutive LIF-TR samples differ only
+    /// where the slowly-learning readout vector changed sign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph.n()` differs from the circuit size or
+    /// `checkpoints` is not strictly ascending.
+    pub fn best_traces(&mut self, graph: &Graph, checkpoints: &[u64]) -> Vec<BestTrace> {
+        assert_eq!(graph.n(), self.n(), "graph/circuit size mismatch");
+        let replicas = self.replicas();
+        crate::sampling::batched_best_traces(checkpoints, replicas, |trackers, values| {
+            self.net.run_updates(self.updates_per_sample);
+            for (r, (tracker, value)) in trackers.iter_mut().zip(values.iter_mut()).enumerate() {
+                let cut = CutAssignment::from_signs(self.net.readout_weights(r));
+                *value = crate::sampling::tracked_value(tracker, graph, cut);
+            }
+        })
     }
 }
 
@@ -170,5 +289,86 @@ mod tests {
         let _ = circuit.next_cut();
         let _ = circuit.next_cut();
         assert_eq!(circuit.updates(), 10);
+    }
+
+    /// Acceptance pin: batched traces are bit-for-bit the sequential
+    /// `TwoStageNetwork`-driven circuit's for seeded R ∈ {1, 8, 16}.
+    #[test]
+    fn batched_replicas_match_sequential_circuits() {
+        let g = gnp(18, 0.3, 21).unwrap();
+        let cfg = LifTrevisanConfig {
+            updates_per_sample: 3,
+            ..LifTrevisanConfig::default()
+        };
+        for r in [1usize, 8, 16] {
+            let seeds: Vec<u64> = (0..r as u64).map(|i| 0x7E71 + i * 131).collect();
+            let mut batch = BatchedLifTrevisanCircuit::new(&g, &seeds, &cfg);
+            assert_eq!(batch.replicas(), r);
+            let mut sequential: Vec<LifTrevisanCircuit> = seeds
+                .iter()
+                .map(|&s| LifTrevisanCircuit::new(&g, s, &cfg))
+                .collect();
+            for sample in 0..10 {
+                let cuts = batch.next_cuts();
+                for (i, circuit) in sequential.iter_mut().enumerate() {
+                    assert_eq!(
+                        cuts[i],
+                        circuit.next_cut(),
+                        "R={r} sample {sample} replica {i}"
+                    );
+                    for (a, b) in batch
+                        .readout_weights(i)
+                        .iter()
+                        .zip(circuit.readout_weights())
+                    {
+                        assert_eq!(a.to_bits(), b.to_bits(), "R={r} replica {i}");
+                    }
+                }
+            }
+            assert_eq!(batch.updates(), 30);
+        }
+    }
+
+    #[test]
+    fn batched_best_traces_match_parallel_best_traces() {
+        use crate::sampling::parallel_best_traces;
+        use snc_neuro::Reset;
+        let g = gnp(14, 0.4, 8).unwrap();
+        // Both reset modes: with Reset::ToValue the spike flags feed back
+        // into the stage-1 dynamics, exercising the other batched path.
+        for reset in [Reset::None, Reset::ToValue(0.0)] {
+            let cfg = LifTrevisanConfig {
+                network: snc_neuro::TwoStageConfig {
+                    reset,
+                    ..snc_neuro::TwoStageConfig::default()
+                },
+                ..LifTrevisanConfig::default()
+            };
+            let seeds: Vec<u64> = (0..6u64).map(|i| 500 + i).collect();
+            let cp = log2_checkpoints(24);
+            let mut batch = BatchedLifTrevisanCircuit::new(&g, &seeds, &cfg);
+            let batched = batch.best_traces(&g, &cp);
+            let reference = parallel_best_traces(
+                |i| LifTrevisanCircuit::new(&g, seeds[i], &cfg),
+                &g,
+                &cp,
+                seeds.len(),
+                2,
+            );
+            assert_eq!(batched, reference, "reset={reset:?}");
+        }
+    }
+
+    #[test]
+    fn batched_learning_improves_like_sequential() {
+        // The characteristic LIF-TR shape survives batching: the merged
+        // best-so-far curve improves as learning proceeds.
+        let g = gnp(20, 0.3, 5).unwrap();
+        let seeds = [11u64, 12, 13, 14];
+        let mut batch = BatchedLifTrevisanCircuit::new(&g, &seeds, &LifTrevisanConfig::default());
+        let traces = batch.best_traces(&g, &log2_checkpoints(4000));
+        let merged = crate::sampling::merge_traces(&traces);
+        assert!(merged.final_best() as f64 > g.m() as f64 / 2.0);
+        assert!(merged.best.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -39,10 +39,10 @@ pub mod trevisan;
 pub mod weighted;
 
 pub use circuits::lif_gw::{BatchedLifGwCircuit, LifGwCircuit, LifGwConfig};
-pub use circuits::lif_trevisan::{LifTrevisanCircuit, LifTrevisanConfig};
+pub use circuits::lif_trevisan::{BatchedLifTrevisanCircuit, LifTrevisanCircuit, LifTrevisanConfig};
 pub use gw::{solve_gw, GwConfig, GwSampler, GwSolution};
 pub use random::RandomCutSampler;
 pub use sampling::{
-    log2_checkpoints, parallel_best_traces, sample_best_trace, BestTrace, CutSampler,
+    log2_checkpoints, merge_traces, parallel_best_traces, sample_best_trace, BestTrace, CutSampler,
 };
 pub use trevisan::{solve_trevisan, SpectralRounding, TrevisanConfig, TrevisanSolution};

@@ -101,6 +101,55 @@ pub(crate) fn tracked_value_from_spikes<'g>(
     }
 }
 
+/// The shared checkpoint loop of the batched multi-replica samplers
+/// (`BatchedLifGwCircuit::best_traces`,
+/// `BatchedLifTrevisanCircuit::best_traces`): draws samples up to the
+/// last checkpoint, tracking a best-so-far value per replica, and
+/// records the bests at every checkpoint.
+///
+/// `draw_values` advances the batch by one sample and writes each
+/// replica's cut value into its slot (using the replica's lazily-seeded
+/// [`CutTracker`] to evaluate incrementally). Keeping the loop here means
+/// the circuits only supply the advance-and-read step, so the checkpoint
+/// semantics cannot drift between circuit families.
+///
+/// # Panics
+///
+/// Panics if `checkpoints` is not strictly ascending.
+pub(crate) fn batched_best_traces<'g>(
+    checkpoints: &[u64],
+    replicas: usize,
+    mut draw_values: impl FnMut(&mut [Option<CutTracker<'g>>], &mut [u64]),
+) -> Vec<BestTrace> {
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly ascending"
+    );
+    let mut trackers: Vec<Option<CutTracker<'g>>> = (0..replicas).map(|_| None).collect();
+    let mut values = vec![0u64; replicas];
+    let mut best = vec![0u64; replicas];
+    let mut out: Vec<Vec<u64>> = vec![Vec::with_capacity(checkpoints.len()); replicas];
+    let mut drawn = 0u64;
+    for &cp in checkpoints {
+        while drawn < cp {
+            draw_values(&mut trackers, &mut values);
+            for (b, &v) in best.iter_mut().zip(&values) {
+                *b = (*b).max(v);
+            }
+            drawn += 1;
+        }
+        for (trace, &b) in out.iter_mut().zip(&best) {
+            trace.push(b);
+        }
+    }
+    out.into_iter()
+        .map(|b| BestTrace {
+            checkpoints: checkpoints.to_vec(),
+            best: b,
+        })
+        .collect()
+}
+
 /// Logarithmically spaced checkpoints `1, 2, 4, …` up to and including
 /// `budget` (deduplicated; empty for zero budget).
 pub fn log2_checkpoints(budget: u64) -> Vec<u64> {

@@ -18,13 +18,17 @@
 //!   empirically in tests.
 //! * [`plasticity`] — Hebbian, Oja (principal component), and Oja
 //!   anti-Hebbian (minor component) rules; the last one drives the
-//!   LIF-Trevisan circuit (§III.D).
+//!   LIF-Trevisan circuit (§III.D). Every rule also has a structure-of-
+//!   arrays multi-replica pass (`update_replicas`) that updates R plastic
+//!   vectors per traversal, bit-for-bit equal to the scalar updates.
 //! * [`network`] — [`DeviceDrivenNetwork`] (pool → weights → LIF
-//!   population, the shared circuit motif of Figs. 1–2) and
+//!   population, the shared circuit motif of Figs. 1–2),
 //!   [`TwoStageNetwork`] (the LIF-TR topology with a plastic readout
-//!   neuron).
+//!   neuron), and [`BatchedTwoStageNetwork`] (R lock-stepped LIF-TR
+//!   replicas sharing each weight-matrix traversal).
 //! * [`parallel`] — replica execution across threads with deterministic
-//!   per-replica seeds.
+//!   per-replica seeds, and the [`ReplicaBatch`] structure-of-arrays
+//!   stepper the batched circuits build on.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,7 +43,9 @@ pub mod synapse;
 pub mod theory;
 
 pub use lif::{Integrator, LifParams, Reset};
-pub use network::{DeviceDrivenNetwork, PlasticitySignal, TwoStageConfig, TwoStageNetwork};
+pub use network::{
+    BatchedTwoStageNetwork, DeviceDrivenNetwork, PlasticitySignal, TwoStageConfig, TwoStageNetwork,
+};
 pub use parallel::ReplicaBatch;
 pub use plasticity::{Hebbian, LearningRate, OjaMinor, OjaPrincipal, PlasticityRule};
 pub use population::LifPopulation;

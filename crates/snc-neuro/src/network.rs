@@ -12,6 +12,7 @@
 //! faithfully, and its output is indeed ignored.
 
 use crate::lif::{LifParams, Reset};
+use crate::parallel::ReplicaBatch;
 use crate::plasticity::{LearningRate, OjaMinor, PlasticityRule};
 use crate::population::LifPopulation;
 use crate::synapse::{CscWeights, InputWeights};
@@ -173,6 +174,57 @@ impl Default for TwoStageConfig {
     }
 }
 
+/// The plasticity-signal attenuation for a two-stage configuration.
+///
+/// Auto-gain: Oja's minor-component rule is stable only when the
+/// input covariance spectrum lies strictly below 1 (the radial
+/// direction of the flow is stable iff λ < 1, and components in
+/// eigendirections with λ > 1 self-amplify). The centered membranes
+/// have Cov = κ·scale²·M², and the Trevisan matrix obeys the
+/// deterministic bound ‖M‖₂ ≤ 2, so a gain of √0.9 / (2·scale·√κ)
+/// pins λ_max(Cov of the plasticity signal) ≤ 0.9 — stable with no
+/// spectrum estimation, exactly the kind of fixed analog
+/// attenuation a hardware implementation would bake in.
+fn plasticity_gain(config: &TwoStageConfig) -> f64 {
+    config.signal_gain.unwrap_or_else(|| match config.plasticity_signal {
+        PlasticitySignal::CenteredPotential => {
+            let kappa = theory::kappa(&config.lif, 0.5).max(1e-300);
+            0.9f64.sqrt() / (2.0 * config.weight_scale.abs().max(1e-300) * kappa.sqrt())
+        }
+        // Sign variables have unit variance; their correlation matrix
+        // is the arcsine compression of the Gaussian one, whose
+        // spectral norm stays below ‖M‖²/min diag(M²) ≤ 4, so the same
+        // factor-2 attenuation keeps Oja's rule stable.
+        PlasticitySignal::SpikeSign => 0.9f64.sqrt() / 2.0,
+    })
+}
+
+/// Deterministic random unit start for the plastic vector; a pure function
+/// of `(n, seed)` shared by the sequential and batched networks.
+fn initial_readout_weights(n: usize, seed: u64) -> Vec<f64> {
+    use snc_devices::{Rng64, Xoshiro256pp};
+    let mut rng = Xoshiro256pp::new(seed ^ 0x0DA2);
+    let mut w: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+    if vector::normalize(&mut w) == 0.0 {
+        w[0] = 1.0;
+    }
+    w
+}
+
+/// Synaptic saturation guard: physical weights cannot grow without
+/// bound, so clamp a (rare, transient) runaway back to unit norm,
+/// and restart from a fixed direction on numerical wipe-out.
+fn saturation_guard(w: &mut [f64]) {
+    let norm2 = vector::norm_sq(w);
+    if !norm2.is_finite() {
+        for (i, wi) in w.iter_mut().enumerate() {
+            *wi = if i == 0 { 1.0 } else { 0.0 };
+        }
+    } else if norm2 > 4.0 {
+        vector::scale(w, 1.0 / norm2.sqrt());
+    }
+}
+
 /// The LIF-Trevisan circuit (Fig. 2): n devices → n LIF neurons (weights ∝
 /// the Trevisan matrix) → one plastic readout neuron trained with Oja's
 /// anti-Hebbian rule. The solution is read from the *weight vector*, not
@@ -250,36 +302,8 @@ impl TwoStageNetwork {
         let pool = DevicePool::new(spec, seed);
         let stage1 = DeviceDrivenNetwork::new(pool, weights, config.lif, config.reset);
 
-        // Auto-gain: Oja's minor-component rule is stable only when the
-        // input covariance spectrum lies strictly below 1 (the radial
-        // direction of the flow is stable iff λ < 1, and components in
-        // eigendirections with λ > 1 self-amplify). The centered membranes
-        // have Cov = κ·scale²·M², and the Trevisan matrix obeys the
-        // deterministic bound ‖M‖₂ ≤ 2, so a gain of √0.9 / (2·scale·√κ)
-        // pins λ_max(Cov of the plasticity signal) ≤ 0.9 — stable with no
-        // spectrum estimation, exactly the kind of fixed analog
-        // attenuation a hardware implementation would bake in.
-        let gain = config.signal_gain.unwrap_or_else(|| match config.plasticity_signal {
-            PlasticitySignal::CenteredPotential => {
-                let kappa = theory::kappa(&config.lif, 0.5).max(1e-300);
-                0.9f64.sqrt() / (2.0 * config.weight_scale.abs().max(1e-300) * kappa.sqrt())
-            }
-            // Sign variables have unit variance; their correlation matrix
-            // is the arcsine compression of the Gaussian one, whose
-            // spectral norm stays below ‖M‖²/min diag(M²) ≤ 4, so the same
-            // factor-2 attenuation keeps Oja's rule stable.
-            PlasticitySignal::SpikeSign => 0.9f64.sqrt() / 2.0,
-        });
-
-        // Deterministic random unit start for the plastic vector.
-        let mut readout_weights: Vec<f64> = {
-            use snc_devices::{Rng64, Xoshiro256pp};
-            let mut rng = Xoshiro256pp::new(seed ^ 0x0DA2);
-            (0..n).map(|_| rng.next_f64() - 0.5).collect()
-        };
-        if vector::normalize(&mut readout_weights) == 0.0 {
-            readout_weights[0] = 1.0;
-        }
+        let gain = plasticity_gain(&config);
+        let readout_weights = initial_readout_weights(n, seed);
 
         Self {
             stage1,
@@ -346,17 +370,7 @@ impl TwoStageNetwork {
         let eta = self.learning_rate.at(self.updates);
         let y = self.rule.update(&mut self.readout_weights, &self.centered, eta);
         self.updates += 1;
-        // Synaptic saturation guard: physical weights cannot grow without
-        // bound, so clamp a (rare, transient) runaway back to unit norm,
-        // and restart from a fixed direction on numerical wipe-out.
-        let norm2 = vector::norm_sq(&self.readout_weights);
-        if !norm2.is_finite() {
-            for (i, w) in self.readout_weights.iter_mut().enumerate() {
-                *w = if i == 0 { 1.0 } else { 0.0 };
-            }
-        } else if norm2 > 4.0 {
-            vector::scale(&mut self.readout_weights, 1.0 / norm2.sqrt());
-        }
+        saturation_guard(&mut self.readout_weights);
         // Stage-2 neuron: receives the readout current; its spikes are
         // deliberately ignored (§IV.B).
         self.stage2.step(&[y]);
@@ -364,6 +378,226 @@ impl TwoStageNetwork {
     }
 
     /// Runs until `updates` plasticity updates have been applied.
+    pub fn run_updates(&mut self, updates: u64) {
+        let target = self.updates + updates;
+        while self.updates < target {
+            self.step();
+        }
+    }
+}
+
+/// `R` replicas of the LIF-Trevisan two-stage circuit advanced in
+/// lock-step, structure-of-arrays.
+///
+/// Stage 1 (devices → Trevisan weights → LIF membranes) runs on a
+/// [`ReplicaBatch`], so the sparse weight matrix is traversed once per time
+/// step for all replicas. Stage 2 keeps the plastic readout vectors
+/// replica-major (`w[r·n ..][..n]`) and applies the Oja anti-Hebbian update
+/// to every replica in one SoA pass
+/// ([`PlasticityRule::update_replicas`]); the `R` output neurons are one
+/// shared [`LifPopulation`].
+///
+/// Replica `r`'s trajectory — membranes, plasticity signal, readout weight
+/// vector, stage-2 activations — is bit-for-bit identical to
+/// `TwoStageNetwork` built from the same spec with seed `seeds[r]`:
+/// batching changes the schedule, never the numbers. The equivalence tests
+/// in this module pin that for both reset modes and both plasticity
+/// signals.
+///
+/// # Examples
+///
+/// ```
+/// use snc_graph::generators::structured::cycle;
+/// use snc_neuro::{BatchedTwoStageNetwork, TwoStageConfig};
+///
+/// let g = cycle(8);
+/// let mut batch = BatchedTwoStageNetwork::new(&g, &[1, 2, 3], TwoStageConfig::default());
+/// batch.run_updates(10);
+/// assert_eq!((batch.replicas(), batch.n(), batch.updates()), (3, 8, 10));
+/// // Replica 2's plastic readout vector; its signs are the cut hypothesis.
+/// assert_eq!(batch.readout_weights(2).len(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchedTwoStageNetwork {
+    stage1: ReplicaBatch<CscWeights>,
+    /// Plastic readout vectors, replica-major: `w[r * n + i]`.
+    readout_weights: Vec<f64>,
+    rule: OjaMinor,
+    learning_rate: LearningRate,
+    plasticity_interval: u64,
+    /// The `R` stage-2 output neurons as one population (their spikes are
+    /// simulated faithfully and ignored, as in the sequential circuit).
+    stage2: LifPopulation,
+    /// Plasticity-signal scratch, same layout as `readout_weights`.
+    centered: Vec<f64>,
+    /// Stage-2 activation scratch, one per replica.
+    ys: Vec<f64>,
+    /// Spike-readout scratch for the `SpikeSign` signal, one replica lane.
+    spikes: Vec<bool>,
+    gain: f64,
+    signal: PlasticitySignal,
+    steps: u64,
+    updates: u64,
+}
+
+impl BatchedTwoStageNetwork {
+    /// Builds one replica per seed for a graph with fair-coin devices —
+    /// the batched [`TwoStageNetwork::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn new(graph: &Graph, seeds: &[u64], config: TwoStageConfig) -> Self {
+        Self::with_devices(graph, DeviceModel::fair(), None, seeds, config)
+    }
+
+    /// Builds the replicas with a custom device model and optional
+    /// common-cause correlation — the batched
+    /// [`TwoStageNetwork::with_devices`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn with_devices(
+        graph: &Graph,
+        model: DeviceModel,
+        common_cause: Option<CommonCause>,
+        seeds: &[u64],
+        config: TwoStageConfig,
+    ) -> Self {
+        let weights = CscWeights::trevisan(graph, config.weight_scale);
+        Self::from_weights(weights, model, common_cause, seeds, config)
+    }
+
+    /// Builds the replicas from an explicit square synaptic weight matrix —
+    /// the batched [`TwoStageNetwork::from_weights`], with the same
+    /// spectral-norm contract on `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight matrix is not square or `seeds` is empty.
+    pub fn from_weights(
+        weights: CscWeights,
+        model: DeviceModel,
+        common_cause: Option<CommonCause>,
+        seeds: &[u64],
+        config: TwoStageConfig,
+    ) -> Self {
+        assert_eq!(
+            weights.neurons(),
+            weights.devices(),
+            "two-stage circuit needs one device per neuron"
+        );
+        let n = weights.neurons();
+        let replicas = seeds.len();
+        let mut spec = PoolSpec::uniform(model, n);
+        if let Some(cc) = common_cause {
+            spec = spec.with_common_cause(cc);
+        }
+        let stage1 = ReplicaBatch::new(spec, seeds, weights, config.lif, config.reset);
+        let gain = plasticity_gain(&config);
+        let mut readout_weights = Vec::with_capacity(n * replicas);
+        for &seed in seeds {
+            readout_weights.extend(initial_readout_weights(n, seed));
+        }
+        Self {
+            stage1,
+            readout_weights,
+            rule: OjaMinor,
+            learning_rate: config.learning_rate,
+            plasticity_interval: config.plasticity_interval.max(1),
+            stage2: LifPopulation::new(replicas, config.lif, Reset::None),
+            centered: vec![0.0; n * replicas],
+            ys: vec![0.0; replicas],
+            spikes: vec![false; n],
+            gain,
+            signal: config.plasticity_signal,
+            steps: 0,
+            updates: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Number of graph vertices / stage-1 neurons per replica.
+    pub fn n(&self) -> usize {
+        self.stage1.neurons()
+    }
+
+    /// Lock-steps simulated so far (shared by all replicas).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Plasticity updates applied so far (shared by all replicas).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Replica `r`'s plastic readout weight vector — sign-thresholding it
+    /// gives that replica's current cut hypothesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn readout_weights(&self, r: usize) -> &[f64] {
+        let n = self.n();
+        assert!(r < self.replicas(), "replica index out of range");
+        &self.readout_weights[r * n..(r + 1) * n]
+    }
+
+    /// The stage-1 replica batch (for inspection).
+    pub fn stage1(&self) -> &ReplicaBatch<CscWeights> {
+        &self.stage1
+    }
+
+    /// Advances every replica one time step; applies plasticity on
+    /// schedule. Returns the stage-2 activations (one per replica) when an
+    /// update happened.
+    pub fn step(&mut self) -> Option<&[f64]> {
+        self.stage1.step();
+        self.steps += 1;
+        if !self.steps.is_multiple_of(self.plasticity_interval) {
+            return None;
+        }
+        let n = self.n();
+        match self.signal {
+            PlasticitySignal::CenteredPotential => {
+                // Layout-neutral bulk readout; each element is the exact
+                // `LifPopulation::centered_into` expression.
+                self.stage1.centered_into(&mut self.centered);
+            }
+            PlasticitySignal::SpikeSign => {
+                for (r, lane) in self.centered.chunks_exact_mut(n).enumerate() {
+                    self.stage1.spiked_into(r, &mut self.spikes);
+                    for (c, &spiked) in lane.iter_mut().zip(&self.spikes) {
+                        *c = if spiked { 1.0 } else { -1.0 };
+                    }
+                }
+            }
+        }
+        if self.gain != 1.0 {
+            vector::scale(&mut self.centered, self.gain);
+        }
+        // Lock-stepped replicas share the update index, hence the rate.
+        let eta = self.learning_rate.at(self.updates);
+        self.rule
+            .update_replicas(&mut self.readout_weights, &self.centered, eta, &mut self.ys);
+        self.updates += 1;
+        for lane in self.readout_weights.chunks_exact_mut(n) {
+            saturation_guard(lane);
+        }
+        // Stage-2 neurons: receive the readout currents; their spikes are
+        // deliberately ignored (§IV.B).
+        self.stage2.step(&self.ys);
+        Some(&self.ys)
+    }
+
+    /// Runs until `updates` plasticity updates have been applied to every
+    /// replica.
     pub fn run_updates(&mut self, updates: u64) {
         let target = self.updates + updates;
         while self.updates < target {
@@ -488,5 +722,89 @@ mod tests {
         a.run_updates(100);
         b.run_updates(100);
         assert_eq!(a.readout_weights(), b.readout_weights());
+    }
+
+    /// The tentpole contract: every batched replica's full trajectory —
+    /// stage-2 activations and readout weight vectors at every plasticity
+    /// update — is bit-for-bit the sequential `TwoStageNetwork`'s with the
+    /// same seed.
+    fn assert_batched_two_stage_equals_sequential(cfg: TwoStageConfig, seeds: &[u64], steps: u64) {
+        let g = gnp_like_graph();
+        let mut batch = BatchedTwoStageNetwork::new(&g, seeds, cfg);
+        let mut nets: Vec<TwoStageNetwork> = seeds
+            .iter()
+            .map(|&s| TwoStageNetwork::new(&g, s, cfg))
+            .collect();
+        for t in 0..steps {
+            let ys = batch.step().map(<[f64]>::to_vec);
+            for (r, net) in nets.iter_mut().enumerate() {
+                let y = net.step();
+                match (&ys, y) {
+                    (Some(ys), Some(y)) => {
+                        assert_eq!(y.to_bits(), ys[r].to_bits(), "y at t={t} r={r}")
+                    }
+                    (None, None) => {}
+                    _ => panic!("plasticity schedule diverged at t={t} r={r}"),
+                }
+                for (i, (a, b)) in batch
+                    .readout_weights(r)
+                    .iter()
+                    .zip(net.readout_weights())
+                    .enumerate()
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "w at t={t} r={r} i={i}");
+                }
+            }
+        }
+        assert_eq!(batch.steps(), steps);
+        assert_eq!(batch.updates(), nets[0].updates());
+    }
+
+    /// A small irregular graph (cycle + chords) so degrees differ.
+    fn gnp_like_graph() -> Graph {
+        let mut edges: Vec<(u32, u32)> = (0..9u32).map(|i| (i, (i + 1) % 9)).collect();
+        edges.extend([(0, 4), (2, 7), (3, 8)]);
+        Graph::from_edges(9, &edges).unwrap()
+    }
+
+    #[test]
+    fn batched_two_stage_matches_sequential_no_reset() {
+        let seeds: Vec<u64> = (0..5u64).map(|i| 0x2757 + 41 * i).collect();
+        assert_batched_two_stage_equals_sequential(TwoStageConfig::default(), &seeds, 120);
+    }
+
+    #[test]
+    fn batched_two_stage_matches_sequential_with_reset() {
+        let cfg = TwoStageConfig {
+            reset: Reset::ToValue(0.0),
+            ..TwoStageConfig::default()
+        };
+        let seeds: Vec<u64> = (0..4u64).map(|i| 0xB0B + 7 * i).collect();
+        assert_batched_two_stage_equals_sequential(cfg, &seeds, 150);
+    }
+
+    #[test]
+    fn batched_two_stage_matches_sequential_spike_sign() {
+        for reset in [Reset::None, Reset::ToValue(0.0)] {
+            let cfg = TwoStageConfig {
+                plasticity_signal: PlasticitySignal::SpikeSign,
+                reset,
+                ..TwoStageConfig::default()
+            };
+            assert_batched_two_stage_equals_sequential(cfg, &[3, 17, 99], 100);
+        }
+    }
+
+    #[test]
+    fn batched_two_stage_single_replica_degenerates() {
+        // R = 1 must be exactly the sequential network.
+        assert_batched_two_stage_equals_sequential(TwoStageConfig::default(), &[42], 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn batched_two_stage_empty_seeds_panics() {
+        let g = cycle(4);
+        let _ = BatchedTwoStageNetwork::new(&g, &[], TwoStageConfig::default());
     }
 }

@@ -79,9 +79,11 @@ pub fn default_threads() -> usize {
 /// structure-of-arrays.
 ///
 /// Every replica shares the same weight matrix, membrane parameters, and
-/// thresholds; only the device seeds differ. Membranes are stored
-/// replica-major (`v[r * n + i]` is neuron `i` of replica `r`), so one
-/// pass over the weight matrix per time step feeds all replicas
+/// thresholds; only the device seeds differ. Membranes are stored in the
+/// weight type's batched layout ([`BatchWeights::INTERLEAVED`]):
+/// replica-major (`v[r * n + i]`, dense weights) or neuron-major
+/// interleaved (`v[i * R + r]`, CSC weights). Either way, one pass over
+/// the weight matrix per time step feeds all replicas
 /// ([`BatchWeights::accumulate_replicas`]) and the fused decay–accumulate
 /// membrane update runs over one contiguous buffer.
 ///
@@ -121,7 +123,9 @@ pub struct ReplicaBatch<W: BatchWeights> {
     /// Per-neuron thresholds (= analytic stationary means), shared by all
     /// replicas.
     means: Vec<f64>,
-    /// Membranes, replica-major: `v[r * neurons + i]`.
+    /// Membranes, in the weight type's batched layout
+    /// ([`BatchWeights::INTERLEAVED`]): `v[r * neurons + i]`
+    /// (replica-major) or `v[i * replicas + r]` (interleaved).
     v: Vec<f64>,
     /// Synaptic currents, same layout as `v`.
     current: Vec<f64>,
@@ -167,8 +171,14 @@ impl<W: BatchWeights> ReplicaBatch<W> {
             *m *= mf;
         }
         let mut v = vec![0.0; n * replicas];
-        for lane in v.chunks_exact_mut(n) {
-            lane.copy_from_slice(&means);
+        if W::INTERLEAVED {
+            for (group, &m) in v.chunks_exact_mut(replicas).zip(&means) {
+                group.fill(m);
+            }
+        } else {
+            for lane in v.chunks_exact_mut(n) {
+                lane.copy_from_slice(&means);
+            }
         }
         let states = vec![ActivityWords::zeros(spec.len()); replicas];
         let plan = weights.batch_plan();
@@ -218,7 +228,12 @@ impl<W: BatchWeights> ReplicaBatch<W> {
         &self.weights
     }
 
-    /// Raw membrane storage, replica-major: `potentials()[r * neurons() + i]`.
+    /// Raw membrane storage in the weight type's batched layout:
+    /// `potentials()[r * neurons() + i]` when
+    /// [`BatchWeights::INTERLEAVED`] is false, `potentials()[i *
+    /// replicas() + r]` when it is true. Prefer
+    /// [`ReplicaBatch::potential`] / [`ReplicaBatch::centered_into`],
+    /// which hide the layout.
     pub fn potentials(&self) -> &[f64] {
         &self.v
     }
@@ -227,7 +242,46 @@ impl<W: BatchWeights> ReplicaBatch<W> {
     pub fn potential(&self, i: usize, r: usize) -> f64 {
         assert!(r < self.replicas(), "replica index out of range");
         assert!(i < self.neurons(), "neuron index out of range");
-        self.v[r * self.neurons() + i]
+        self.v[self.index(i, r)]
+    }
+
+    /// The storage index of neuron `i` in replica `r` for the active
+    /// layout.
+    #[inline]
+    fn index(&self, i: usize, r: usize) -> usize {
+        if W::INTERLEAVED {
+            i * self.replicas() + r
+        } else {
+            r * self.neurons() + i
+        }
+    }
+
+    /// Writes every replica's mean-centered membrane potentials into
+    /// `out`, **replica-major** (`out[r * neurons() + i] = V_{i,r} −
+    /// means[i]`) regardless of the internal layout — the layout-neutral
+    /// bulk readout (each element is the exact
+    /// `LifPopulation::centered_into` expression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != neurons() * replicas()`.
+    pub fn centered_into(&self, out: &mut [f64]) {
+        let n = self.neurons();
+        let replicas = self.replicas();
+        assert_eq!(out.len(), n * replicas, "centered buffer length");
+        if W::INTERLEAVED {
+            for (i, (group, &m)) in self.v.chunks_exact(replicas).zip(&self.means).enumerate() {
+                for (r, &vv) in group.iter().enumerate() {
+                    out[r * n + i] = vv - m;
+                }
+            }
+        } else {
+            for (o_lane, v_lane) in out.chunks_exact_mut(n).zip(self.v.chunks_exact(n)) {
+                for ((o, &vv), &m) in o_lane.iter_mut().zip(v_lane).zip(&self.means) {
+                    *o = vv - m;
+                }
+            }
+        }
     }
 
     /// Writes replica `r`'s spike flags from the most recent step into
@@ -246,13 +300,28 @@ impl<W: BatchWeights> ReplicaBatch<W> {
     /// Panics if `out.len() != neurons()` or `r` is out of range.
     pub fn spiked_into(&self, r: usize, out: &mut [bool]) {
         let n = self.neurons();
-        assert!(r < self.replicas(), "replica index out of range");
+        let replicas = self.replicas();
+        assert!(r < replicas, "replica index out of range");
         assert_eq!(out.len(), n, "spike buffer length");
         match self.reset {
+            Reset::None if W::INTERLEAVED => {
+                for ((o, group), &thr) in out
+                    .iter_mut()
+                    .zip(self.v.chunks_exact(replicas))
+                    .zip(&self.means)
+                {
+                    *o = group[r] > thr;
+                }
+            }
             Reset::None => {
                 let lane = &self.v[r * n..(r + 1) * n];
                 for ((o, &v), &thr) in out.iter_mut().zip(lane).zip(&self.means) {
                     *o = v > thr;
+                }
+            }
+            Reset::ToValue(_) if W::INTERLEAVED => {
+                for (o, group) in out.iter_mut().zip(self.spiked.chunks_exact(replicas)) {
+                    *o = group[r];
                 }
             }
             Reset::ToValue(_) => {
@@ -273,8 +342,10 @@ impl<W: BatchWeights> ReplicaBatch<W> {
         // rows (dense weights at SDP rank), read the currents in place —
         // no intermediate buffer is written at all. Availability is
         // plan-wide (state-independent), so probing one replica decides
-        // for all. Only valid without reset feedback.
-        if matches!(self.reset, Reset::None)
+        // for all. Only valid without reset feedback, and only in the
+        // replica-major layout memoized rows are stored in.
+        if !W::INTERLEAVED
+            && matches!(self.reset, Reset::None)
             && self
                 .weights
                 .memoized_row(&self.plan, &self.states[0])
@@ -303,6 +374,26 @@ impl<W: BatchWeights> ReplicaBatch<W> {
                 // without reset it cannot feed back into the dynamics.
                 for (v, &i_in) in self.v.iter_mut().zip(&self.current) {
                     *v = decay * *v + gain * i_in;
+                }
+            }
+            Reset::ToValue(rv) if W::INTERLEAVED => {
+                // Interleaved: one R-lane group per neuron, all sharing
+                // that neuron's threshold.
+                let replicas = self.pools.len();
+                for ((group, cur), (spk_group, &thr)) in self
+                    .v
+                    .chunks_exact_mut(replicas)
+                    .zip(self.current.chunks_exact(replicas))
+                    .zip(self.spiked.chunks_exact_mut(replicas).zip(&self.means))
+                {
+                    for ((v, &i_in), spk) in group.iter_mut().zip(cur).zip(spk_group) {
+                        let mut vv = decay * *v + gain * i_in;
+                        *spk = vv > thr;
+                        if *spk {
+                            vv = rv;
+                        }
+                        *v = vv;
+                    }
                 }
             }
             Reset::ToValue(rv) => {

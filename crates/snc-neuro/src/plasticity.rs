@@ -46,6 +46,46 @@ impl LearningRate {
 pub trait PlasticityRule {
     /// Applies one update `w ← w + η·Δw(x, y)` and returns `y`.
     fn update(&self, w: &mut [f64], x: &[f64], eta: f64) -> f64;
+
+    /// Applies one update to `R` independent replicas stored
+    /// structure-of-arrays: `w[r·neurons ..][..neurons]` is replica `r`'s
+    /// weight vector and `x` its activity in the same replica-major layout.
+    /// All replicas share one learning rate `eta` (lock-stepped replicas
+    /// are at the same update index). Writes `y_r = w_rᵀx_r` into `ys`.
+    ///
+    /// Each lane is updated with exactly the scalar [`PlasticityRule::update`]
+    /// expression — in the same accumulation order — so a batched update is
+    /// bit-for-bit identical to updating every replica alone. Implementors
+    /// overriding this for speed must preserve that contract (the
+    /// batched-network equivalence tests pin it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != x.len()`, `w.len()` is not a multiple of
+    /// `ys.len()`, or `ys` is empty while `w` is not.
+    fn update_replicas(&self, w: &mut [f64], x: &[f64], eta: f64, ys: &mut [f64]) {
+        assert_eq!(w.len(), x.len(), "weight/activity layout mismatch");
+        let replicas = ys.len();
+        assert!(
+            replicas > 0 || w.is_empty(),
+            "at least one replica required"
+        );
+        if replicas == 0 {
+            return;
+        }
+        assert!(
+            w.len().is_multiple_of(replicas),
+            "weight buffer not replica-major"
+        );
+        let n = w.len() / replicas;
+        for ((w_lane, x_lane), y) in w
+            .chunks_exact_mut(n)
+            .zip(x.chunks_exact(n))
+            .zip(ys.iter_mut())
+        {
+            *y = self.update(w_lane, x_lane, eta);
+        }
+    }
 }
 
 /// Pure Hebbian rule `Δw = y·x` (unstable; kept as the textbook baseline).
@@ -207,5 +247,47 @@ mod tests {
         let y = OjaPrincipal.update(&mut w, &[2.0, 5.0], 0.0);
         assert_eq!(y, 2.0);
         assert_eq!(w, vec![1.0, 0.0]); // η = 0 leaves w unchanged
+    }
+
+    /// The SoA pass must equal per-replica scalar updates bit-for-bit,
+    /// for every rule, across several chained updates.
+    #[test]
+    fn batched_update_is_bit_exact() {
+        fn check(rule: &impl PlasticityRule) {
+            let n = 5;
+            let replicas = 4;
+            // Deterministic, replica-distinct starting weights and inputs.
+            let mut w_batch: Vec<f64> = (0..n * replicas)
+                .map(|k| ((k * 37 % 11) as f64 - 5.0) * 0.13)
+                .collect();
+            let mut w_seq = w_batch.clone();
+            let mut ys = vec![0.0; replicas];
+            for t in 0..20u64 {
+                let x: Vec<f64> = (0..n * replicas)
+                    .map(|k| ((k as u64 * 101 + t * 7) % 13) as f64 * 0.21 - 1.2)
+                    .collect();
+                let eta = 0.05 / (1.0 + t as f64);
+                rule.update_replicas(&mut w_batch, &x, eta, &mut ys);
+                for r in 0..replicas {
+                    let y = rule.update(&mut w_seq[r * n..(r + 1) * n], &x[r * n..(r + 1) * n], eta);
+                    assert_eq!(y.to_bits(), ys[r].to_bits(), "y at t={t} r={r}");
+                }
+                for (k, (a, b)) in w_batch.iter().zip(&w_seq).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "w at t={t} k={k}");
+                }
+            }
+        }
+        check(&Hebbian);
+        check(&OjaPrincipal);
+        check(&OjaMinor);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica-major")]
+    fn batched_update_rejects_ragged_layout() {
+        let mut w = vec![0.0; 7];
+        let x = vec![0.0; 7];
+        let mut ys = vec![0.0; 2];
+        OjaMinor.update_replicas(&mut w, &x, 0.1, &mut ys);
     }
 }

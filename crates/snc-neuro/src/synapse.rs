@@ -65,23 +65,40 @@ pub trait InputWeights {
 /// Multi-replica (structure-of-arrays) extension of [`InputWeights`].
 ///
 /// Computes the synaptic currents of `R` replicas of the same circuit in
-/// one traversal of the weight matrix. The output layout is replica-major:
-/// `out[r * neurons + i]` is neuron `i`'s current in replica `r`, so each
-/// replica's current vector is one contiguous slice (memcpy-able pattern
-/// rows, vectorizable column adds, branch-free membrane fusion) while the
-/// matrix structure — column masks, sparse indices, values — is read once
-/// per step instead of once per replica.
+/// one traversal of the weight matrix, so the matrix structure — column
+/// masks, sparse indices, values — is read once per step instead of once
+/// per replica.
+///
+/// The output layout is chosen by the weight type via
+/// [`BatchWeights::INTERLEAVED`]:
+///
+/// * **Replica-major** (`INTERLEAVED == false`, the dense default):
+///   `out[r * neurons + i]` is neuron `i`'s current in replica `r`. Each
+///   replica's current vector is one contiguous slice — memcpy-able
+///   pattern rows, branch-free membrane fusion.
+/// * **Neuron-major / interleaved** (`INTERLEAVED == true`, the CSC
+///   choice): `out[i * replicas + r]`. Each scattered sparse update lands
+///   in one contiguous `R`-lane group (a cache line at R = 8), which is
+///   what makes the shared sparse traversal profitable — the replica-major
+///   scatter jumps `neurons`-strided lanes and loses its amortization win
+///   to cache traffic.
 ///
 /// Per `(neuron, replica)` pair the additions happen in ascending column
 /// order — exactly the order [`InputWeights::accumulate_words`] uses — so
-/// batched currents are bit-for-bit equal to stepping each replica alone.
+/// batched currents are bit-for-bit equal to stepping each replica alone
+/// in either layout.
 pub trait BatchWeights: InputWeights {
     /// Reusable precomputed state and scratch for the batched kernel.
     type Plan: Clone + std::fmt::Debug;
+    /// Whether [`BatchWeights::accumulate_replicas`] writes neuron-major
+    /// interleaved output (`out[i * replicas + r]`) instead of
+    /// replica-major (`out[r * neurons + i]`). Steppers must keep their
+    /// per-replica state in the same layout.
+    const INTERLEAVED: bool = false;
     /// Builds the kernel plan (pattern tables, scratch buffers).
     fn batch_plan(&self) -> Self::Plan;
-    /// Computes `out[r * neurons + i] = (W · s_r)_i` for replica states
-    /// `s_r`.
+    /// Computes the batched currents `(W · s_r)_i` for replica states
+    /// `s_r`, stored per [`BatchWeights::INTERLEAVED`].
     ///
     /// # Panics
     ///
@@ -329,7 +346,14 @@ impl CscWeights {
     /// population … set proportional to the Trevisan matrix").
     ///
     /// Isolated vertices get only their diagonal entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is non-finite (every stored value has magnitude
+    /// ≤ `|scale|`, so a finite scale makes the whole matrix finite —
+    /// the `CscWeights` invariant the batched kernel relies on).
     pub fn trevisan(graph: &Graph, scale: f64) -> Self {
+        assert!(scale.is_finite(), "weight scale must be finite, got {scale}");
         let n = graph.n();
         let inv_sqrt: Vec<f64> = (0..n)
             .map(|i| {
@@ -412,12 +436,18 @@ impl CscWeights {
     ///
     /// # Panics
     ///
-    /// Panics if an index is out of range.
+    /// Panics if an index is out of range or a value is non-finite.
+    /// Finiteness is a `CscWeights` invariant: the batched masked-FMA
+    /// kernel relies on `v · 0.0` being a true no-op for silent
+    /// replicas, which `±inf`/`NaN` values would break (`inf · 0.0 =
+    /// NaN`) — and non-finite synaptic weights are meaningless for the
+    /// circuits anyway.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
         let mut sorted: Vec<(u32, u32, f64)> = triplets
             .iter()
             .map(|&(i, j, v)| {
                 assert!((i as usize) < rows && (j as usize) < cols, "triplet out of range");
+                assert!(v.is_finite(), "synaptic weights must be finite, got {v}");
                 (j, i, v)
             })
             .collect();
@@ -509,12 +539,19 @@ impl InputWeights for CscWeights {
 /// Plan/scratch state for the batched CSC kernel.
 #[derive(Clone, Debug, Default)]
 pub struct CscPlan {
-    /// Scratch: indices of replicas with the current column active.
-    active: Vec<u32>,
+    /// Scratch: per-replica column-activity selectors (1.0 = active,
+    /// 0.0 = silent) for the branch-free masked accumulate.
+    sel: Vec<f64>,
+    /// Scratch: the replicas' state words for the current 64-column block.
+    words: Vec<u64>,
 }
 
 impl BatchWeights for CscWeights {
     type Plan = CscPlan;
+
+    /// Interleaved so each sparse row update touches one contiguous
+    /// `R`-lane group (see the trait docs).
+    const INTERLEAVED: bool = true;
 
     fn batch_plan(&self) -> CscPlan {
         CscPlan::default()
@@ -531,27 +568,53 @@ impl BatchWeights for CscWeights {
         for s in states {
             assert_eq!(s.len(), self.cols);
         }
+        plan.sel.resize(replicas, 0.0);
+        plan.words.clear();
         out.fill(0.0);
         // One pass over the sparse structure: each (row index, value) pair
-        // is loaded once per step and scattered into every active
-        // replica's lane, instead of being re-read once per replica. The
-        // per-lane row walks are sequential streams (column rows are
-        // sorted), which hardware prefetchers handle well.
-        for alpha in 0..self.cols {
-            plan.active.clear();
-            for (r, s) in states.iter().enumerate() {
-                if s.get(alpha) {
-                    plan.active.push(r as u32);
+        // is loaded once per step and applied to every replica, instead of
+        // being re-read once per replica. The output is neuron-major
+        // interleaved, so the `R` per-row updates are one contiguous,
+        // vectorizable lane group; replica activity enters as a 0/1
+        // multiplier rather than a branch or an index list.
+        //
+        // Bit-exactness of the masked add: `v * 1.0 == v` exactly, and
+        // `o += v * 0.0` adds ±0.0, which cannot change `o` — the
+        // accumulator never holds −0.0 (it starts at +0.0, and IEEE-754
+        // round-to-nearest addition only produces −0.0 from two negative
+        // zeros), and `x + ±0.0 == x` for every other x. So silent
+        // replicas' lanes are bit-identical to never being touched, which
+        // keeps the batched kernel bit-for-bit equal to per-replica
+        // `accumulate_words` in ascending column order. This needs every
+        // `v` finite (`inf · 0.0 = NaN` would poison silent lanes) —
+        // a `CscWeights` construction invariant, asserted there.
+        //
+        // Columns are visited in 64-wide word blocks: the replicas'
+        // current state words are staged once per block, then each
+        // column's activity is a shift-and-mask — no per-(column, replica)
+        // bounds-checked bit lookups.
+        for (block, base) in (0..self.cols).step_by(64).enumerate() {
+            plan.words.clear();
+            plan.words.extend(states.iter().map(|s| s.words()[block]));
+            let cols_in_block = 64.min(self.cols - base);
+            for bit in 0..cols_in_block {
+                let mut any = 0u64;
+                for (sel, &w) in plan.sel.iter_mut().zip(plan.words.iter()) {
+                    let on = (w >> bit) & 1;
+                    *sel = on as f64;
+                    any |= on;
                 }
-            }
-            if plan.active.is_empty() {
-                continue;
-            }
-            for k in self.col_ptr[alpha]..self.col_ptr[alpha + 1] {
-                let row = self.row_idx[k] as usize;
-                let v = self.values[k];
-                for &r in &plan.active {
-                    out[r as usize * self.rows + row] += v;
+                if any == 0 {
+                    continue;
+                }
+                let alpha = base + bit;
+                for k in self.col_ptr[alpha]..self.col_ptr[alpha + 1] {
+                    let row = self.row_idx[k] as usize;
+                    let v = self.values[k];
+                    let lane = &mut out[row * replicas..(row + 1) * replicas];
+                    for (o, &sel) in lane.iter_mut().zip(plan.sel.iter()) {
+                        *o += v * sel;
+                    }
                 }
             }
         }
@@ -639,6 +702,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "must be finite")]
+    fn csc_rejects_non_finite_values() {
+        let _ = CscWeights::from_triplets(2, 2, &[(0, 0, f64::INFINITY)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn trevisan_rejects_non_finite_scale() {
+        let _ = CscWeights::trevisan(&cycle(4), f64::NAN);
+    }
+
+    #[test]
     fn csc_from_triplets() {
         let w = CscWeights::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 5.0), (1, 0, -2.0)]);
         let d = w.to_dense();
@@ -680,9 +755,10 @@ mod tests {
         for (r, s) in states.iter().enumerate() {
             w.accumulate_words(s, &mut single);
             for i in 0..n {
+                let k = if W::INTERLEAVED { i * replicas + r } else { r * n + i };
                 assert_eq!(
                     single[i].to_bits(),
-                    batched[r * n + i].to_bits(),
+                    batched[k].to_bits(),
                     "replica {r} neuron {i}"
                 );
             }

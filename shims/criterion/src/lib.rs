@@ -17,8 +17,23 @@
 //! confidence intervals) is deliberately out of scope; swap the real crate
 //! back in via the workspace manifest when network access is available.
 //! The divergences from real Criterion are catalogued in `shims/README.md`.
+//!
+//! **Ledger emission (shim extension).** When the `CRITERION_SHIM_JSON`
+//! environment variable names a file, every benchmark additionally appends
+//! one JSON object per line to it, in exactly the shape the
+//! `docs/BENCHMARKS.md` results ledger's `benches` array uses:
+//!
+//! ```json
+//! {"id": "group/name", "mean_ns": 1.0, "min_ns": 1.0, "max_ns": 1.0, "batches": 12}
+//! ```
+//!
+//! so `results/BENCH_<PR>.json` can be assembled from a bench run without
+//! hand-copying numbers (see the "Recording results" workflow there).
+//! Real Criterion has its own machine-readable output formats; this one
+//! exists only to feed the repository's ledger.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -223,6 +238,13 @@ impl Criterion {
             "{id:<50} time: [{:>12.1} {:>12.1} {:>12.1}] ns/iter ({} batches)",
             s.min_ns, s.mean_ns, s.max_ns, s.batches
         );
+        if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = append_ledger_line(&path, id, &s) {
+                    eprintln!("criterion-shim: cannot append to {path}: {e}");
+                }
+            }
+        }
     }
 
     /// Runs a single ungrouped benchmark.
@@ -237,6 +259,35 @@ impl Criterion {
             name: name.to_string(),
         }
     }
+}
+
+/// Appends one ledger line (the `benches`-array entry shape of
+/// `docs/BENCHMARKS.md`) for a finished benchmark. One `write_all` per
+/// line, so concurrent processes appending to the same file do not
+/// interleave within a line.
+fn append_ledger_line(path: &str, id: &str, s: &SampleSummary) -> std::io::Result<()> {
+    // JSON string escaping (RFC 8259): backslash-escape the quote and
+    // backslash, \uXXXX-escape control characters.
+    let mut escaped = String::with_capacity(id.len());
+    for c in id.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                escaped.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => escaped.push(c),
+        }
+    }
+    let line = format!(
+        "{{\"id\": \"{escaped}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"batches\": {}}}\n",
+        s.mean_ns, s.min_ns, s.max_ns, s.batches
+    );
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(line.as_bytes())
 }
 
 /// A named group of benchmarks sharing the parent [`Criterion`] config.
@@ -336,5 +387,33 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("G(50,0.25)").to_string(), "G(50,0.25)");
+    }
+
+    #[test]
+    fn ledger_line_has_benches_array_shape() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_ledger_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let s = SampleSummary {
+            mean_ns: 1234.56,
+            min_ns: 1000.0,
+            max_ns: 2000.25,
+            batches: 12,
+        };
+        append_ledger_line(path.to_str().unwrap(), "group/na\"me", &s).unwrap();
+        append_ledger_line(path.to_str().unwrap(), "group/tab\there", &s).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2, "one line per bench");
+        assert_eq!(
+            lines[0],
+            "{\"id\": \"group/na\\\"me\", \"mean_ns\": 1234.6, \"min_ns\": 1000.0, \"max_ns\": 2000.2, \"batches\": 12}"
+        );
+        // Control characters become RFC 8259 \uXXXX escapes, not Rust's
+        // \u{X} debug form.
+        assert!(lines[1].contains("\"id\": \"group/tab\\u0009here\""), "{}", lines[1]);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -7,6 +7,9 @@ use snc::snc_graph::{CutAssignment, Graph};
 use snc::snc_linalg::{Cholesky, DMatrix};
 use snc::snc_maxcut::trevisan::best_sweep_cut;
 use snc::snc_maxcut::{exact, greedy};
+use snc::snc_neuro::{
+    BatchedTwoStageNetwork, LearningRate, Reset, TwoStageConfig, TwoStageNetwork,
+};
 
 /// Strategy: a random edge list on up to 12 vertices.
 fn small_graph() -> impl Strategy<Value = Graph> {
@@ -124,5 +127,53 @@ proptest! {
     fn brute_force_is_self_consistent(g in small_graph()) {
         let (cut, v) = exact::brute_force(&g);
         prop_assert_eq!(cut.cut_value(&g), v);
+    }
+
+    /// The batched LIF-Trevisan network is bit-for-bit the sequential
+    /// `TwoStageNetwork` per replica, across random ER graphs, learning
+    /// rates (constant and decaying), plasticity intervals, and both
+    /// reset modes.
+    #[test]
+    fn batched_two_stage_equals_sequential(
+        n in 4usize..16,
+        p in 0.15f64..0.8,
+        graph_seed in 0u64..500,
+        eta_millis in 1u64..200,
+        decay in any::<bool>(),
+        reset in any::<bool>(),
+        interval in 1u64..6,
+        base_seed in 0u64..10_000,
+    ) {
+        let g = gnp(n, p, graph_seed).expect("valid G(n,p)");
+        let eta0 = eta_millis as f64 / 1000.0;
+        let cfg = TwoStageConfig {
+            learning_rate: if decay {
+                LearningRate::Decay { eta0, t0: 500.0 }
+            } else {
+                LearningRate::Constant(eta0)
+            },
+            reset: if reset { Reset::ToValue(0.0) } else { Reset::None },
+            plasticity_interval: interval,
+            ..TwoStageConfig::default()
+        };
+        let seeds: Vec<u64> = (0..3u64).map(|i| base_seed.wrapping_add(i * 7919)).collect();
+        let mut batch = BatchedTwoStageNetwork::new(&g, &seeds, cfg);
+        let mut nets: Vec<TwoStageNetwork> =
+            seeds.iter().map(|&s| TwoStageNetwork::new(&g, s, cfg)).collect();
+        batch.run_updates(12);
+        for net in nets.iter_mut() {
+            net.run_updates(12);
+        }
+        prop_assert_eq!(batch.steps(), nets[0].steps());
+        for (r, net) in nets.iter().enumerate() {
+            for (i, (a, b)) in batch
+                .readout_weights(r)
+                .iter()
+                .zip(net.readout_weights())
+                .enumerate()
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "replica {} weight {}", r, i);
+            }
+        }
     }
 }
