@@ -145,20 +145,10 @@ impl CliArgs {
                     );
                 }
                 "--threads" => {
-                    threads = Some(
-                        it.next()
-                            .ok_or("--threads needs a value")?
-                            .parse()
-                            .map_err(|_| "--threads must be an integer")?,
-                    );
+                    threads = Some(parse_positive(it.next(), "--threads")?);
                 }
                 "--replicas" => {
-                    replicas = Some(
-                        it.next()
-                            .ok_or("--replicas needs a value")?
-                            .parse()
-                            .map_err(|_| "--replicas must be an integer")?,
-                    );
+                    replicas = Some(parse_positive(it.next(), "--replicas")?);
                 }
                 "--seed" => {
                     seed = Some(
@@ -183,10 +173,10 @@ impl CliArgs {
             suite.sample_budget = s;
         }
         if let Some(t) = threads {
-            suite.threads = t.max(1);
+            suite.threads = t;
         }
         if let Some(r) = replicas {
-            suite.replicas = r.max(1);
+            suite.replicas = r;
         }
         if let Some(s) = seed {
             suite.seed = s;
@@ -197,6 +187,27 @@ impl CliArgs {
             out_dir,
         })
     }
+}
+
+/// Parses a flag value that must be a strictly positive integer.
+///
+/// Zero workers or zero replicas has no meaningful semantics — silently
+/// clamping to 1 (the old behavior) made `--replicas 0` look like a
+/// request that was honored. Every binary taking these flags (fig3,
+/// fig4, table1, robustness, snc-server) now rejects 0 with this error.
+///
+/// # Errors
+///
+/// Returns a usage string when the value is missing, non-integer, or 0.
+pub fn parse_positive(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    let raw = value.ok_or(format!("{flag} needs a value"))?;
+    let parsed: usize = raw
+        .parse()
+        .map_err(|_| format!("{flag} must be an integer"))?;
+    if parsed == 0 {
+        return Err(format!("{flag} must be ≥ 1 (got 0)"));
+    }
+    Ok(parsed)
 }
 
 #[cfg(test)]
@@ -230,8 +241,6 @@ mod tests {
         assert_eq!(a.suite.seed, 9);
         let a = CliArgs::parse(&strs(&["--replicas", "8"])).unwrap();
         assert_eq!(a.suite.replicas, 8);
-        let a = CliArgs::parse(&strs(&["--replicas", "0"])).unwrap();
-        assert_eq!(a.suite.replicas, 1, "replicas clamps to ≥ 1");
     }
 
     #[test]
@@ -239,6 +248,18 @@ mod tests {
         assert!(CliArgs::parse(&strs(&["--bogus"])).is_err());
         assert!(CliArgs::parse(&strs(&["--samples"])).is_err());
         assert!(CliArgs::parse(&strs(&["--samples", "abc"])).is_err());
+    }
+
+    #[test]
+    fn cli_rejects_zero_threads_and_replicas() {
+        let err = CliArgs::parse(&strs(&["--replicas", "0"])).unwrap_err();
+        assert!(err.contains("--replicas must be ≥ 1"), "got: {err}");
+        let err = CliArgs::parse(&strs(&["--threads", "0"])).unwrap_err();
+        assert!(err.contains("--threads must be ≥ 1"), "got: {err}");
+        // Positive values still parse.
+        assert_eq!(parse_positive(Some(&"3".to_string()), "--x"), Ok(3));
+        assert!(parse_positive(None, "--x").is_err());
+        assert!(parse_positive(Some(&"-1".to_string()), "--x").is_err());
     }
 
     #[test]

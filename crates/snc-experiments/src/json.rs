@@ -1,0 +1,598 @@
+//! Dependency-free JSON: a small value tree, an RFC 8259 writer, and a
+//! strict parser.
+//!
+//! One escaper serves every JSON producer in the workspace: the
+//! experiment reports ([`crate::report::Table::to_json`]) and the
+//! `snc-server` wire format both render through [`Json::render`], so the
+//! two formats cannot drift apart on string escaping. The parser exists
+//! for the server's request bodies; it is strict (no trailing garbage,
+//! no unquoted keys, bounded nesting depth) because those bodies arrive
+//! from the network.
+//!
+//! Rendering is fully deterministic: object members keep insertion
+//! order, integers render exactly, and floats use Rust's shortest
+//! round-trip formatting — a prerequisite for the server's byte-identical
+//! response contract.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts (arrays + objects).
+///
+/// Request bodies come from the network; without a cap, a few KiB of
+/// `[[[[…` would overflow the recursive-descent parser's stack.
+const MAX_DEPTH: usize = 128;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, rendered exactly (no float round-trip).
+    UInt(u64),
+    /// A negative integer, rendered exactly.
+    Int(i64),
+    /// A float, rendered with shortest round-trip formatting. Non-finite
+    /// values render as `null` (JSON has no NaN/Infinity).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order, so rendering is
+    /// deterministic.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders the value as compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Appends the compact rendering to `out`.
+    pub fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (k, (key, value)) in members.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(out, key);
+                    out.push_str("\":");
+                    value.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Looks up a member of an object; `None` for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`, if it is a non-negative integer that fits.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
+
+    /// The value as `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(u) => Some(*u as f64),
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` to `out` with RFC 8259 string escaping: `"` and `\` are
+/// backslash-escaped, control characters below U+0020 become `\n`, `\r`,
+/// `\t`, `\b`, `\f`, or `\u00XX`; everything else (including non-ASCII)
+/// passes through as UTF-8.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns `s` with RFC 8259 string escaping applied (no surrounding
+/// quotes).
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// A parse error with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document (one value, no trailing garbage).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input, integer-overflowing
+/// numbers that are not representable as `f64` tokens, or nesting deeper
+/// than an internal cap.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes (no escape, no quote, no raw
+            // control character).
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 (it is a &str) and we only
+                // stopped on ASCII boundaries, so this slice is valid.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(
+                    |_| self.err("invalid UTF-8 inside string"),
+                )?);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape_sequence(&mut out)?;
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape_sequence(&mut self, out: &mut String) -> Result<(), JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: require an immediately following
+                    // `\uDC00`–`\uDFFF` low surrogate.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')
+                            .map_err(|_| self.err("expected low surrogate"))?;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        return Err(self.err("unpaired high surrogate"));
+                    }
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.err("unpaired low surrogate"));
+                } else {
+                    hi
+                };
+                out.push(
+                    char::from_u32(code).ok_or_else(|| self.err("invalid code point"))?,
+                );
+            }
+            _ => return Err(self.err("unknown escape")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            v = v * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = token.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = token.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        token
+            .parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| JsonError {
+                offset: start,
+                message: format!("invalid number `{token}`"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(escaped("plain"), "plain");
+        assert_eq!(escaped("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escaped("back\\slash"), "back\\\\slash");
+        assert_eq!(escaped("C:\\dir\\\"q\""), "C:\\\\dir\\\\\\\"q\\\"");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escaped("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escaped("\u{0008}\u{000C}"), "\\b\\f");
+        assert_eq!(escaped("\u{0000}\u{001f}"), "\\u0000\\u001f");
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        assert_eq!(escaped("héllo ∀x 日本語"), "héllo ∀x 日本語");
+        let rendered = Json::str("héllo\n\"∀\"").render();
+        assert_eq!(rendered, "\"héllo\\n\\\"∀\\\"\"");
+        assert_eq!(parse(&rendered).unwrap(), Json::str("héllo\n\"∀\""));
+    }
+
+    #[test]
+    fn rendering_is_compact_and_ordered() {
+        let v = Json::Obj(vec![
+            ("b".into(), Json::UInt(2)),
+            ("a".into(), Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("s".into(), Json::str("x")),
+        ]);
+        assert_eq!(v.render(), "{\"b\":2,\"a\":[null,true],\"s\":\"x\"}");
+    }
+
+    #[test]
+    fn numbers_render_exactly() {
+        assert_eq!(Json::UInt(u64::MAX).render(), u64::MAX.to_string());
+        assert_eq!(Json::Int(-42).render(), "-42");
+        assert_eq!(Json::Num(0.5).render(), "0.5");
+        assert_eq!(Json::Num(1.0).render(), "1");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("123").unwrap(), Json::UInt(123));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("1.5e2").unwrap(), Json::Num(150.0));
+        assert_eq!(parse("\"a b\"").unwrap(), Json::str("a b"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse("{\"edges\": [[0, 1], [1, 2]], \"n\": 3, \"ok\": true}").unwrap();
+        let edges = v.get("edges").unwrap().as_array().unwrap();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[1].as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("n").unwrap().as_usize(), Some(3));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parses_string_escapes_and_surrogates() {
+        assert_eq!(
+            parse("\"a\\n\\t\\\\\\\"\\u0041\"").unwrap(),
+            Json::str("a\n\t\\\"A")
+        );
+        // 𝄞 (U+1D11E) as a surrogate pair.
+        assert_eq!(parse("\"\\uD834\\uDD1E\"").unwrap(), Json::str("𝄞"));
+        assert!(parse("\"\\uD834\"").is_err(), "unpaired high surrogate");
+        assert!(parse("\"\\uDD1E\"").is_err(), "unpaired low surrogate");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "{'a':1}",
+            "\"unterminated", "\"\u{0001}\"", "[1]]", "nulla",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(4096) + &"]".repeat(4096);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn roundtrips_through_render_and_parse() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::str("road-\"chesapeake\"\n")),
+            ("best".into(), Json::UInt(126)),
+            ("bound".into(), Json::Num(128.25)),
+            (
+                "trace".into(),
+                Json::Arr(vec![Json::UInt(1), Json::UInt(2), Json::UInt(4)]),
+            ),
+            ("none".into(), Json::Null),
+        ]);
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+}

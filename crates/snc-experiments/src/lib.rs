@@ -13,9 +13,12 @@
 //!
 //! Shared machinery: [`suite`] (runs all four solvers on one graph,
 //! scheduling the neuromorphic circuits as batched `ReplicaBatch` units —
-//! threads × batch width), [`runner`] (a progress-reporting parallel job
-//! queue), [`report`] (CSV/Markdown emission), [`config`] (paper-exact
-//! and quick presets).
+//! threads × batch width), [`runner`] (the `WorkerPool` submit/await
+//! scheduling core, also the substrate the `snc-server` serving layer
+//! runs on, plus the index-ordered `JobRunner` façade), [`report`]
+//! (CSV/Markdown/JSON emission), [`json`] (the dependency-free JSON
+//! writer/parser shared with the server wire format), [`config`]
+//! (paper-exact and quick presets).
 //!
 //! Binaries: `fig3`, `fig4`, `table1`, `robustness` — each accepts
 //! `--quick`, `--paper`, `--samples N`, `--threads N`, `--seed N`,
@@ -29,6 +32,7 @@
 pub mod config;
 pub mod fig3;
 pub mod fig4;
+pub mod json;
 pub mod report;
 pub mod robustness;
 pub mod runner;

@@ -31,6 +31,7 @@ use crate::config::SuiteConfig;
 use snc_devices::SplitMix64;
 use snc_graph::Graph;
 use snc_linalg::{LinalgError, SdpConfig};
+use snc_maxcut::solve::{effective_replicas, replica_checkpoints, replica_seeds};
 use snc_maxcut::{
     log2_checkpoints, merge_traces, sample_best_trace, BatchedLifGwCircuit,
     BatchedLifTrevisanCircuit, BestTrace, GwConfig, GwSampler, LifGwConfig, LifTrevisanConfig,
@@ -69,38 +70,13 @@ impl SuiteTraces {
     }
 }
 
-/// Deterministic replica seed ladder rooted at `base`.
-///
-/// A single replica uses `base` itself, so `replicas == 1` consumes
-/// exactly the seed stream the pre-batching sequential harness did and
-/// reproduces its traces bit-for-bit.
-fn replica_seeds(base: u64, replicas: usize) -> Vec<u64> {
-    if replicas <= 1 {
-        vec![base]
-    } else {
-        (0..replicas as u64)
-            .map(|r| SplitMix64::derive(base, r))
-            .collect()
-    }
-}
-
-/// The effective batch width for a total budget: never more replicas
-/// than samples, so the merged trace cannot exceed the budget.
-fn effective_replicas(budget: u64, replicas: usize) -> usize {
-    replicas.max(1).min(budget.max(1) as usize)
-}
-
-/// The per-replica checkpoint grid for a total budget split `replicas`
-/// ways. When the budget is not divisible by the batch width the merged
-/// circuit trace ends at `⌊budget/R⌋·R ≤ budget` (documented on
-/// [`SuiteConfig::replicas`]); `effective_replicas` guarantees at least
-/// one sample per replica without overshooting. A zero budget draws
-/// zero circuit samples (empty grid), like the software baselines.
-fn replica_checkpoints(budget: u64, replicas: usize) -> Vec<u64> {
-    log2_checkpoints(budget / effective_replicas(budget, replicas) as u64)
-}
-
 /// Runs all four solvers on a graph with a deterministic seed ladder.
+///
+/// The budget/seed arithmetic — replica seed ladder, width capping,
+/// per-replica checkpoint grid — lives in [`mod@snc_maxcut::solve`] and is
+/// shared with the serving layer, so a server request carrying a
+/// figure's per-graph seed reproduces that figure's circuit trace bit
+/// for bit (pinned by a test below).
 ///
 /// # Errors
 ///
@@ -251,6 +227,37 @@ mod tests {
         let again = run_suite(&g, &cfg, 13).unwrap();
         assert_eq!(traces.lif_gw, again.lif_gw);
         assert_eq!(traces.lif_tr, again.lif_tr);
+    }
+
+    /// The serving layer's [`mod@snc_maxcut::solve`] entry point shares the
+    /// suite's seed ladder and budget arithmetic, so a request carrying
+    /// a figure's per-graph seed reproduces that figure's circuit trace
+    /// bit for bit — the contract that makes server responses
+    /// comparable to published harness numbers.
+    #[test]
+    fn server_solve_reproduces_suite_circuit_traces() {
+        use snc_maxcut::{CircuitFamily, SolveSpec};
+        let g = gnp(22, 0.4, 17).unwrap();
+        let mut cfg = SuiteConfig::for_scale(ExperimentScale::Quick);
+        cfg.sample_budget = 64;
+        cfg.replicas = 4;
+        let traces = run_suite(&g, &cfg, 21).unwrap();
+        for (family, expected) in [
+            (CircuitFamily::LifGw, &traces.lif_gw),
+            (CircuitFamily::LifTrevisan, &traces.lif_tr),
+        ] {
+            let spec = SolveSpec {
+                family,
+                budget: cfg.sample_budget,
+                replicas: cfg.replicas,
+                seed: 21,
+                sdp_rank: cfg.sdp_rank,
+                lif: cfg.lif,
+            };
+            let out = snc_maxcut::solve(&g, &spec).unwrap();
+            assert_eq!(&out.trace, expected, "{family:?}");
+            assert_eq!(out.best_cut.cut_value(&g), out.best_value);
+        }
     }
 
     #[test]

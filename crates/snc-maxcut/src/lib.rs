@@ -22,6 +22,10 @@
 //!   parallel sampling runner.
 //! * [`extensions`] — MAX2SAT and MAXDICUT via the same SDP + rounding
 //!   machinery, the generalization sketched in the Discussion (§VI).
+//! * [`mod@solve`] — request→circuit dispatch: one deterministic entry point
+//!   turning (graph, family, budget, replicas, seed) into the best cut,
+//!   its partition, and a merged trace — the unit of work the
+//!   `snc-server` serving layer schedules.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +38,7 @@ pub mod greedy;
 pub mod gw;
 pub mod random;
 pub mod sampling;
+pub mod solve;
 pub mod stats;
 pub mod trevisan;
 pub mod weighted;
@@ -45,4 +50,5 @@ pub use random::RandomCutSampler;
 pub use sampling::{
     log2_checkpoints, merge_traces, parallel_best_traces, sample_best_trace, BestTrace, CutSampler,
 };
+pub use solve::{solve, CircuitFamily, SolveError, SolveOutcome, SolveSpec};
 pub use trevisan::{solve_trevisan, SpectralRounding, TrevisanConfig, TrevisanSolution};

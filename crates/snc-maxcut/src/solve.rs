@@ -1,0 +1,434 @@
+//! Request→circuit dispatch: one entry point that turns a *solve
+//! request* — graph, circuit family, sample budget, replica width,
+//! seed — into a finished MAXCUT answer with the best partition and its
+//! best-so-far trace.
+//!
+//! This is the API a serving layer consumes (the `snc-server` crate
+//! schedules [`solve`] calls onto a worker pool), and the experiment
+//! harness shares its budget/seed arithmetic: [`replica_seeds`],
+//! [`effective_replicas`], and [`replica_checkpoints`] are the exact
+//! functions `snc_experiments::suite` splits figure budgets with, so a
+//! service request reproduces the harness's traces bit for bit.
+//!
+//! ## Determinism contract
+//!
+//! [`solve`] is a pure function of `(graph, spec)`. The per-replica seed
+//! ladder is rooted at `spec.seed` via `SplitMix64::derive` — the same
+//! deterministic sub-stream derivation pinned throughout the workspace —
+//! and the batched steppers guarantee replica `r`'s sample stream is
+//! bit-for-bit the sequential circuit's with seed `seeds[r]`. Two calls
+//! with identical inputs return identical outcomes, on any thread, at
+//! any concurrency.
+
+use crate::circuits::lif_gw::{BatchedLifGwCircuit, LifGwConfig};
+use crate::circuits::lif_trevisan::{BatchedLifTrevisanCircuit, LifTrevisanConfig};
+use crate::gw::{solve_gw, GwConfig};
+use crate::sampling::{log2_checkpoints, BestTrace};
+use snc_devices::SplitMix64;
+use snc_graph::{CutAssignment, CutTracker, Graph};
+use snc_linalg::{LinalgError, SdpConfig};
+use snc_neuro::{LifParams, TwoStageConfig};
+
+/// The two neuromorphic circuit families a request can name (§IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CircuitFamily {
+    /// LIF-GW: SDP factors programmed into synapses, Gaussian sampling
+    /// in the membrane covariance (Fig. 1).
+    LifGw,
+    /// LIF-Trevisan: fully online spectral circuit with a plastic
+    /// readout (Fig. 2).
+    LifTrevisan,
+}
+
+impl CircuitFamily {
+    /// Both families, LIF-GW first.
+    pub fn all() -> [CircuitFamily; 2] {
+        [CircuitFamily::LifGw, CircuitFamily::LifTrevisan]
+    }
+
+    /// The wire/CLI name of the family.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CircuitFamily::LifGw => "lif-gw",
+            CircuitFamily::LifTrevisan => "lif-trevisan",
+        }
+    }
+
+    /// Parses a wire/CLI name (`"lif-gw"` / `"lif-trevisan"`).
+    pub fn from_name(name: &str) -> Option<CircuitFamily> {
+        CircuitFamily::all().into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// A fully specified solve request (everything [`solve`] depends on).
+#[derive(Clone, Debug)]
+pub struct SolveSpec {
+    /// Which circuit family to sample.
+    pub family: CircuitFamily,
+    /// Total sample budget across replicas (≥ 1).
+    pub budget: u64,
+    /// Replica width: how many lock-stepped circuit copies share the
+    /// budget (the `ReplicaBatch` width). Capped at the budget; see
+    /// [`effective_replicas`].
+    pub replicas: usize,
+    /// Master seed; every RNG stream in the solve derives from it.
+    pub seed: u64,
+    /// SDP rank for LIF-GW's offline factor computation (4 in §IV.A).
+    pub sdp_rank: usize,
+    /// Membrane parameters for the circuit's LIF population.
+    pub lif: LifParams,
+}
+
+impl SolveSpec {
+    /// A spec with the workspace defaults: one replica, SDP rank 4, and
+    /// default LIF parameters.
+    pub fn new(family: CircuitFamily, budget: u64, seed: u64) -> Self {
+        Self {
+            family,
+            budget,
+            replicas: 1,
+            seed,
+            sdp_rank: 4,
+            lif: LifParams::default(),
+        }
+    }
+}
+
+/// The answer to a solve request.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// Merged best-so-far trace on the total-samples checkpoint grid
+    /// (per-replica log2 checkpoints × effective width).
+    pub trace: BestTrace,
+    /// The best cut value over every sample of every replica (equal to
+    /// `trace.final_best()`).
+    pub best_value: u64,
+    /// A partition achieving `best_value` — the earliest such sample,
+    /// ties broken by lowest replica index, so the argmax is as
+    /// deterministic as the value.
+    pub best_cut: CutAssignment,
+    /// The SDP upper bound (LIF-GW only; LIF-Trevisan does no offline
+    /// work).
+    pub sdp_bound: Option<f64>,
+    /// Effective replica width after capping at the budget.
+    pub replicas: usize,
+    /// Total samples actually drawn: `⌊budget/R⌋·R ≤ budget`.
+    pub samples: u64,
+}
+
+/// Errors a solve request can fail with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The sample budget was zero — there is nothing to sample and no
+    /// partition to return.
+    EmptyBudget,
+    /// The graph has no vertices; the circuits have no population to
+    /// build.
+    EmptyGraph,
+    /// The offline SDP stage failed (LIF-GW only).
+    Sdp(LinalgError),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::EmptyBudget => f.write_str("sample budget must be ≥ 1"),
+            SolveError::EmptyGraph => f.write_str("graph must have at least one vertex"),
+            SolveError::Sdp(e) => write!(f, "SDP stage failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<LinalgError> for SolveError {
+    fn from(e: LinalgError) -> Self {
+        SolveError::Sdp(e)
+    }
+}
+
+/// Deterministic replica seed ladder rooted at `base`.
+///
+/// A single replica uses `base` itself, so `replicas == 1` consumes
+/// exactly the seed stream a sequential single-circuit run does and
+/// reproduces its traces bit-for-bit.
+pub fn replica_seeds(base: u64, replicas: usize) -> Vec<u64> {
+    if replicas <= 1 {
+        vec![base]
+    } else {
+        (0..replicas as u64)
+            .map(|r| SplitMix64::derive(base, r))
+            .collect()
+    }
+}
+
+/// The effective batch width for a total budget: never more replicas
+/// than samples, so the merged trace cannot exceed the budget.
+pub fn effective_replicas(budget: u64, replicas: usize) -> usize {
+    replicas.max(1).min(budget.max(1) as usize)
+}
+
+/// The per-replica checkpoint grid for a total budget split `replicas`
+/// ways. When the budget is not divisible by the batch width the merged
+/// circuit trace ends at `⌊budget/R⌋·R ≤ budget`; [`effective_replicas`]
+/// guarantees at least one sample per replica without overshooting. A
+/// zero budget draws zero circuit samples (empty grid).
+pub fn replica_checkpoints(budget: u64, replicas: usize) -> Vec<u64> {
+    log2_checkpoints(budget / effective_replicas(budget, replicas) as u64)
+}
+
+/// Runs the requested circuit on `graph` and returns the best cut found
+/// within the budget, its partition, and the merged best-so-far trace.
+///
+/// Seed ladder (shared with `snc_experiments::suite::run_suite`, so a
+/// request with the harness's per-graph seed reproduces the harness's
+/// circuit trace): slot 1 seeds the SDP, slot 3 roots the LIF-GW replica
+/// ladder, slot 4 roots the LIF-Trevisan replica ladder.
+///
+/// # Errors
+///
+/// Returns [`SolveError::EmptyBudget`] for a zero budget,
+/// [`SolveError::EmptyGraph`] for a vertexless graph, and propagates SDP
+/// failures for LIF-GW.
+pub fn solve(graph: &Graph, spec: &SolveSpec) -> Result<SolveOutcome, SolveError> {
+    if spec.budget == 0 {
+        return Err(SolveError::EmptyBudget);
+    }
+    if graph.n() == 0 {
+        return Err(SolveError::EmptyGraph);
+    }
+    let replicas = effective_replicas(spec.budget, spec.replicas);
+    let checkpoints = replica_checkpoints(spec.budget, spec.replicas);
+    match spec.family {
+        CircuitFamily::LifGw => {
+            let sdp_cfg = SdpConfig {
+                rank: spec.sdp_rank,
+                seed: SplitMix64::derive(spec.seed, 1),
+                ..SdpConfig::default()
+            };
+            let gw = solve_gw(graph, &GwConfig { sdp: sdp_cfg })?;
+            let cfg = LifGwConfig {
+                lif: spec.lif,
+                ..LifGwConfig::default()
+            };
+            let seeds = replica_seeds(SplitMix64::derive(spec.seed, 3), replicas);
+            let mut batch = BatchedLifGwCircuit::new(&gw.factors, &seeds, &cfg);
+            let driven = drive(graph, &checkpoints, replicas, || batch.next_cuts());
+            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound)))
+        }
+        CircuitFamily::LifTrevisan => {
+            let cfg = LifTrevisanConfig {
+                network: TwoStageConfig {
+                    lif: spec.lif,
+                    ..TwoStageConfig::default()
+                },
+                ..LifTrevisanConfig::default()
+            };
+            let seeds = replica_seeds(SplitMix64::derive(spec.seed, 4), replicas);
+            let mut batch = BatchedLifTrevisanCircuit::new(graph, &seeds, &cfg);
+            let driven = drive(graph, &checkpoints, replicas, || batch.next_cuts());
+            Ok(driven.into_outcome(replicas, None))
+        }
+    }
+}
+
+/// Intermediate result of [`drive`].
+struct Driven {
+    trace: BestTrace,
+    best_value: u64,
+    best_cut: CutAssignment,
+}
+
+impl Driven {
+    fn into_outcome(self, replicas: usize, sdp_bound: Option<f64>) -> SolveOutcome {
+        let samples = self.trace.checkpoints.last().copied().unwrap_or(0);
+        SolveOutcome {
+            best_value: self.best_value,
+            best_cut: self.best_cut,
+            trace: self.trace,
+            sdp_bound,
+            replicas,
+            samples,
+        }
+    }
+}
+
+/// The argmax-tracking variant of the batched checkpoint loop: advances
+/// the batch one sample at a time, maintains per-replica best values
+/// with incremental [`CutTracker`]s (values identical to the circuits'
+/// `best_traces`), merges at each checkpoint (max over replicas, sample
+/// counts summed — the `merge_traces` semantics), and keeps the earliest
+/// partition achieving the global best.
+fn drive(
+    graph: &Graph,
+    checkpoints: &[u64],
+    replicas: usize,
+    mut next_cuts: impl FnMut() -> Vec<CutAssignment>,
+) -> Driven {
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly ascending"
+    );
+    assert!(!checkpoints.is_empty(), "budget ≥ 1 yields ≥ 1 checkpoint");
+    let mut trackers: Vec<Option<CutTracker<'_>>> = (0..replicas).map(|_| None).collect();
+    let mut per_replica_best = vec![0u64; replicas];
+    let mut merged_best = Vec::with_capacity(checkpoints.len());
+    // Champion: strictly-greater updates ⇒ earliest sample wins, ties
+    // within a sample broken by replica index.
+    let mut champion: Option<(u64, CutAssignment)> = None;
+    let mut drawn = 0u64;
+    for &cp in checkpoints {
+        while drawn < cp {
+            let cuts = next_cuts();
+            debug_assert_eq!(cuts.len(), replicas);
+            for (r, cut) in cuts.into_iter().enumerate() {
+                let value = match trackers[r].as_mut() {
+                    Some(t) => t.set_to(&cut),
+                    None => {
+                        let t = CutTracker::new(graph, cut.clone());
+                        let v = t.value();
+                        trackers[r] = Some(t);
+                        v
+                    }
+                };
+                per_replica_best[r] = per_replica_best[r].max(value);
+                if champion.as_ref().is_none_or(|(best, _)| value > *best) {
+                    champion = Some((value, cut));
+                }
+            }
+            drawn += 1;
+        }
+        merged_best.push(per_replica_best.iter().copied().max().unwrap_or(0));
+    }
+    let (best_value, best_cut) = champion.expect("≥ 1 sample was drawn");
+    Driven {
+        trace: BestTrace {
+            checkpoints: checkpoints.iter().map(|&c| c * replicas as u64).collect(),
+            best: merged_best,
+        },
+        best_value,
+        best_cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::merge_traces;
+    use snc_graph::generators::erdos_renyi::gnp;
+
+    fn spec(family: CircuitFamily) -> SolveSpec {
+        SolveSpec {
+            budget: 64,
+            replicas: 4,
+            ..SolveSpec::new(family, 64, 0xBEEF)
+        }
+    }
+
+    #[test]
+    fn family_names_roundtrip() {
+        for f in CircuitFamily::all() {
+            assert_eq!(CircuitFamily::from_name(f.name()), Some(f));
+        }
+        assert_eq!(CircuitFamily::from_name("gw"), None);
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let g = gnp(10, 0.5, 1).unwrap();
+        let mut s = spec(CircuitFamily::LifGw);
+        s.budget = 0;
+        assert_eq!(solve(&g, &s).unwrap_err(), SolveError::EmptyBudget);
+        let empty = Graph::empty(0);
+        assert_eq!(
+            solve(&empty, &spec(CircuitFamily::LifTrevisan)).unwrap_err(),
+            SolveError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn outcome_is_internally_consistent() {
+        let g = gnp(20, 0.4, 7).unwrap();
+        for family in CircuitFamily::all() {
+            let out = solve(&g, &spec(family)).unwrap();
+            // The partition must achieve exactly the reported value …
+            assert_eq!(out.best_cut.cut_value(&g), out.best_value, "{family:?}");
+            // … which is the final trace value …
+            assert_eq!(out.best_value, out.trace.final_best(), "{family:?}");
+            // … and the merged grid covers the whole (divisible) budget.
+            assert_eq!(out.samples, 64);
+            assert_eq!(out.replicas, 4);
+            assert_eq!(out.trace.checkpoints.last(), Some(&64));
+            assert!(out.trace.best.windows(2).all(|w| w[0] <= w[1]));
+            match family {
+                CircuitFamily::LifGw => {
+                    let bound = out.sdp_bound.expect("LIF-GW carries the SDP bound");
+                    assert!(bound >= out.best_value as f64 - 1e-6);
+                }
+                CircuitFamily::LifTrevisan => assert_eq!(out.sdp_bound, None),
+            }
+        }
+    }
+
+    #[test]
+    fn identical_requests_yield_identical_outcomes() {
+        let g = gnp(18, 0.4, 3).unwrap();
+        for family in CircuitFamily::all() {
+            let a = solve(&g, &spec(family)).unwrap();
+            let b = solve(&g, &spec(family)).unwrap();
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.best_value, b.best_value);
+            assert_eq!(a.best_cut, b.best_cut);
+            assert_eq!(a.sdp_bound, b.sdp_bound);
+        }
+    }
+
+    #[test]
+    fn trace_matches_the_batched_steppers() {
+        // solve() must report exactly the trace the batched circuits
+        // produce with the same seed ladder — the argmax bookkeeping may
+        // not perturb the numbers.
+        let g = gnp(16, 0.5, 11).unwrap();
+        let s = spec(CircuitFamily::LifTrevisan);
+        let out = solve(&g, &s).unwrap();
+        let replicas = effective_replicas(s.budget, s.replicas);
+        let cp = replica_checkpoints(s.budget, s.replicas);
+        let seeds = replica_seeds(SplitMix64::derive(s.seed, 4), replicas);
+        let cfg = LifTrevisanConfig {
+            network: TwoStageConfig {
+                lif: s.lif,
+                ..TwoStageConfig::default()
+            },
+            ..LifTrevisanConfig::default()
+        };
+        let mut batch = BatchedLifTrevisanCircuit::new(&g, &seeds, &cfg);
+        let reference = merge_traces(&batch.best_traces(&g, &cp));
+        assert_eq!(out.trace, reference);
+    }
+
+    #[test]
+    fn replica_arithmetic_caps_and_splits() {
+        assert_eq!(effective_replicas(1000, 16), 16);
+        assert_eq!(replica_checkpoints(1000, 16).last(), Some(&62));
+        assert_eq!(effective_replicas(4, 8), 4);
+        assert_eq!(effective_replicas(0, 8), 1);
+        assert_eq!(effective_replicas(64, 0), 1);
+        assert!(replica_checkpoints(0, 8).is_empty());
+        assert_eq!(replica_seeds(9, 1), vec![9]);
+        let ladder = replica_seeds(9, 3);
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0], SplitMix64::derive(9, 0));
+    }
+
+    #[test]
+    fn indivisible_budget_never_overshoots() {
+        let g = gnp(12, 0.5, 2).unwrap();
+        let mut s = spec(CircuitFamily::LifGw);
+        s.budget = 10;
+        s.replicas = 4;
+        let out = solve(&g, &s).unwrap();
+        assert_eq!(out.samples, 8); // 4 · ⌊10/4⌋
+        assert_eq!(out.trace.checkpoints.last(), Some(&8));
+        assert_eq!(out.best_cut.cut_value(&g), out.best_value);
+    }
+}

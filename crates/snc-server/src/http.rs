@@ -1,0 +1,442 @@
+//! A minimal HTTP/1.1 layer over `std::net` — request parsing and
+//! response writing, nothing more.
+//!
+//! Scope is deliberately small: the server speaks exactly the subset of
+//! HTTP/1.1 its endpoints need — request line + headers + fixed-length
+//! bodies, keep-alive by default, `Expect: 100-continue` honored (curl
+//! sends it for larger POST bodies), chunked transfer encoding refused.
+//! Connections poll with a short read timeout so a graceful shutdown can
+//! interrupt idle keep-alive reads; the caller supplies the
+//! `should_abort` probe.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request head (request line + headers) in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// An HTTP-level error: the status to answer with and a message for the
+/// JSON error body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status code (4xx/5xx).
+    pub status: u16,
+    /// Human-readable description, returned in the error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Creates an error with a status code and message.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target (query string stripped).
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one `\n`-terminated line, tolerating read timeouts (polling
+/// `should_abort` on each). `Ok(None)` means the peer closed before any
+/// byte of the line, or shutdown was requested.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    budget: &mut usize,
+    should_abort: &impl Fn() -> bool,
+) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        // Never buffer past the head budget, even mid-line: read through
+        // a `Take` of `budget + 1` bytes so a peer streaming
+        // newline-free data is cut off at the cap instead of growing the
+        // buffer unboundedly (`read_until` alone would keep appending
+        // until a newline or EOF).
+        if line.len() > *budget {
+            return Err(HttpError::new(413, "request head too large"));
+        }
+        let remaining = (*budget + 1 - line.len()) as u64;
+        match reader.by_ref().take(remaining).read_until(b'\n', &mut line) {
+            // `remaining ≥ 1` here, so Ok(0) is a genuine EOF.
+            Ok(0) => {
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(HttpError::new(400, "truncated request"))
+                };
+            }
+            Ok(_) if line.ends_with(b"\n") => {
+                *budget = budget
+                    .checked_sub(line.len())
+                    .ok_or_else(|| HttpError::new(413, "request head too large"))?;
+                while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(line));
+            }
+            // No newline: either the Take limit was hit (next iteration
+            // rejects with 413) or EOF landed mid-line (next iteration
+            // reads Ok(0) and rejects as truncated).
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                if should_abort() {
+                    return Ok(None);
+                }
+            }
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+/// Reads exactly `len` body bytes, tolerating read timeouts.
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    len: usize,
+    should_abort: &impl Fn() -> bool,
+) -> Result<Vec<u8>, HttpError> {
+    let mut buf = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(HttpError::new(400, "unexpected end of body")),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if should_abort() {
+                    return Err(HttpError::new(408, "shutdown during body read"));
+                }
+            }
+            Err(_) => return Err(HttpError::new(400, "connection error during body read")),
+        }
+    }
+    Ok(buf)
+}
+
+/// Reads and parses one request off the connection.
+///
+/// Returns `Ok(None)` for a cleanly closed or shut-down connection
+/// (nothing to answer). `writer` is used only to send the interim
+/// `100 Continue` when the client asked for it.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] for malformed, oversized, or unsupported
+/// requests; the caller answers with the embedded status and closes.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    max_body: usize,
+    should_abort: &impl Fn() -> bool,
+) -> Result<Option<Request>, HttpError> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let request_line = match read_line(reader, &mut head_budget, should_abort)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let request_line = String::from_utf8(request_line)
+        .map_err(|_| HttpError::new(400, "request line is not UTF-8"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing HTTP version"))?;
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(HttpError::new(400, format!("unsupported version {version}")));
+    }
+    // Keep-alive default per version; Connection header can override.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    let mut expect_continue = false;
+    loop {
+        let line = match read_line(reader, &mut head_budget, should_abort)? {
+            Some(line) => line,
+            None => return Ok(None),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let line = String::from_utf8(line)
+            .map_err(|_| HttpError::new(400, "header is not UTF-8"))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, "malformed header"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::new(400, "invalid content-length"))?;
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "expect" if value.eq_ignore_ascii_case("100-continue") => {
+                expect_continue = true;
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::new(501, "chunked transfer encoding not supported"));
+            }
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let body = if content_length > 0 {
+        if expect_continue {
+            let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+            let _ = writer.flush();
+        }
+        read_body(reader, content_length, should_abort)?
+    } else {
+        Vec::new()
+    };
+    // Strip the query string; endpoints don't take parameters there.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Writes a response with a JSON body.
+///
+/// Emitted headers are fixed and deterministic (`content-type`,
+/// `content-length`, `connection`) plus the caller's `extra` pairs —
+/// timing lives in an `x-snc-elapsed-us` extra so response *bodies* stay
+/// byte-identical for identical requests.
+///
+/// # Errors
+///
+/// Propagates socket write errors (the caller drops the connection).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    head.push_str("content-type: application/json\r\n");
+    head.push_str(&format!("content-length: {}\r\n", body.len()));
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n"
+    } else {
+        "connection: close\r\n"
+    });
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Loopback socket pair for driving the parser with real streams.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn parse_one(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let (mut client, server) = pair();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut writer = server.try_clone().unwrap();
+        let mut reader = BufReader::new(server);
+        read_request(&mut reader, &mut writer, 1024, &|| false)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_one(
+            b"POST /solve HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_get_and_strips_query() {
+        let req = parse_one(b"GET /healthz?verbose=1 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse_one(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_close_yields_none() {
+        assert_eq!(parse_one(b"").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert_eq!(parse_one(b"BOGUS\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse_one(b"GET / HTTP/2\r\n\r\n").unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            parse_one(b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n")
+                .unwrap_err()
+                .status,
+            413
+        );
+        assert_eq!(
+            parse_one(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            501
+        );
+        assert_eq!(
+            parse_one(b"POST / HTTP/1.1\r\nContent-Length: 8\r\n\r\nabc")
+                .unwrap_err()
+                .status,
+            400,
+            "body shorter than content-length"
+        );
+    }
+
+    #[test]
+    fn oversized_head_is_cut_off_even_without_newlines() {
+        // A newline-free flood must be rejected at MAX_HEAD_BYTES, not
+        // buffered until the peer closes.
+        let (mut client, server) = pair();
+        let flood = vec![b'A'; MAX_HEAD_BYTES + 1024];
+        std::thread::spawn(move || {
+            let _ = client.write_all(&flood);
+            // Keep the connection open: the server must reject without
+            // waiting for EOF or a newline.
+            std::thread::sleep(std::time::Duration::from_secs(5));
+        });
+        let mut writer = server.try_clone().unwrap();
+        let mut reader = BufReader::new(server);
+        let err = read_request(&mut reader, &mut writer, 1024, &|| false).unwrap_err();
+        assert_eq!(err.status, 413);
+        // An oversized header *line* (with newlines elsewhere) is also
+        // capped.
+        let mut big = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        big.extend(std::iter::repeat_n(b'x', MAX_HEAD_BYTES));
+        big.extend(b"\r\n\r\n");
+        assert_eq!(parse_one(&big).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn expect_continue_gets_the_interim_response() {
+        let (mut client, server) = pair();
+        client
+            .write_all(
+                b"POST /solve HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\nhi",
+            )
+            .unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut writer = server.try_clone().unwrap();
+        let mut reader = BufReader::new(server);
+        let req = read_request(&mut reader, &mut writer, 1024, &|| false)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hi");
+        let mut interim = String::new();
+        std::io::BufReader::new(client)
+            .read_line(&mut interim)
+            .unwrap();
+        assert!(interim.starts_with("HTTP/1.1 100"), "got {interim:?}");
+    }
+
+    #[test]
+    fn response_writing_roundtrip() {
+        let (client, mut server) = pair();
+        write_response(
+            &mut server,
+            200,
+            &[("x-snc-elapsed-us", "12".to_string())],
+            b"{\"ok\":true}",
+            false,
+        )
+        .unwrap();
+        drop(server);
+        let mut text = String::new();
+        BufReader::new(client).read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("x-snc-elapsed-us: 12\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,55 @@
+//! `snc-server` — a concurrent MAXCUT solve service over the batched
+//! neuromorphic samplers.
+//!
+//! A dependency-free HTTP/1.1 server (std `TcpListener`, thread per
+//! connection) that accepts solve requests — graph, circuit family
+//! (LIF-GW / LIF-Trevisan), sample budget, replica width, seed —
+//! schedules them onto a bounded [`snc_experiments::runner::WorkerPool`]
+//! whose workers step the batched `ReplicaBatch` circuits through
+//! [`snc_maxcut::solve()`], and answers with deterministic JSON: best cut,
+//! partition, trace checkpoints. Timing is reported in the
+//! `x-snc-elapsed-us` response header so that identical seeded requests
+//! yield **byte-identical bodies** at any concurrency — the service
+//! inherits the workspace's per-replica RNG-stream contract.
+//!
+//! This mirrors how neuromorphic accelerators are consumed in practice:
+//! batch submission of jobs against a fixed device budget, with a job
+//! queue in front of the hardware.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint         | Semantics                                        |
+//! |------------------|--------------------------------------------------|
+//! | `POST /solve`    | Synchronous solve; blocks until the result       |
+//! | `POST /jobs`     | Async submit; answers `202 {"id": …}`            |
+//! | `GET /jobs/{id}` | Poll an async job (`queued/running/done/failed`) |
+//! | `GET /healthz`   | Liveness + queue gauge                           |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use snc_server::{serve, ServerConfig};
+//!
+//! let handle = serve(ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap();
+//! println!("listening on {}", handle.addr());
+//! // … drive it over TCP, then:
+//! handle.shutdown(); // graceful: drains in-flight work
+//! ```
+//!
+//! The request/response schema lives in [`wire`]; the HTTP subset in
+//! [`http`]; the async job records in [`jobs`]; acceptor/routing in
+//! [`server`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod jobs;
+pub mod server;
+pub mod wire;
+
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,98 @@
+//! The `snc-server` binary: bind, print the address, serve until killed.
+//!
+//! ```text
+//! snc-server [--addr HOST:PORT] [--threads N] [--replicas N]
+//!            [--queue-depth N] [--store-capacity N]
+//! ```
+//!
+//! `--threads`, `--replicas`, `--queue-depth`, and `--store-capacity`
+//! must be ≥ 1 (0 is rejected with an error, matching the experiment
+//! binaries). `--addr` with port 0 binds an ephemeral port; the actual
+//! address is printed on startup.
+
+use snc_experiments::config::parse_positive;
+use snc_server::{serve, ServerConfig};
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                cfg.addr = it.next().ok_or("--addr needs a HOST:PORT value")?.clone();
+            }
+            "--threads" => cfg.threads = parse_positive(it.next(), "--threads")?,
+            "--replicas" => cfg.replicas = parse_positive(it.next(), "--replicas")?,
+            "--queue-depth" => cfg.queue_depth = parse_positive(it.next(), "--queue-depth")?,
+            "--store-capacity" => {
+                cfg.store_capacity = parse_positive(it.next(), "--store-capacity")?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}`\nusage: snc-server [--addr HOST:PORT] [--threads N] \
+                     [--replicas N] [--queue-depth N] [--store-capacity N]"
+                ));
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let (threads, replicas, queue_depth) = (cfg.threads, cfg.replicas, cfg.queue_depth);
+    let handle = match serve(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "snc-server listening on {} ({threads} solver threads, replica width {replicas}, queue depth {queue_depth})",
+        handle.addr()
+    );
+    handle.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let cfg = parse_args(&[]).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:7878");
+        let cfg = parse_args(&strs(&[
+            "--addr", "0.0.0.0:9000", "--threads", "2", "--replicas", "8",
+            "--queue-depth", "16", "--store-capacity", "32",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.addr, "0.0.0.0:9000");
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.replicas, 8);
+        assert_eq!(cfg.queue_depth, 16);
+        assert_eq!(cfg.store_capacity, 32);
+    }
+
+    #[test]
+    fn rejects_zero_and_unknown_flags() {
+        for flag in ["--threads", "--replicas", "--queue-depth", "--store-capacity"] {
+            let err = parse_args(&strs(&[flag, "0"])).unwrap_err();
+            assert!(err.contains("must be ≥ 1"), "{flag}: {err}");
+        }
+        assert!(parse_args(&strs(&["--bogus"])).is_err());
+        assert!(parse_args(&strs(&["--addr"])).is_err());
+    }
+}

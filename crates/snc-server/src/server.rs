@@ -1,0 +1,416 @@
+//! The server core: TCP acceptor, thread-per-connection request loop,
+//! routing, and the worker pool the solves are scheduled onto.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! TcpListener ──accept──▶ connection thread (HTTP/1.1 keep-alive loop)
+//!      │                        │  parse + validate (wire.rs)
+//!      │                        ▼
+//!      │                bounded WorkerPool queue  ──503 when full
+//!      │                        │
+//!      │                        ▼
+//!      │                worker: snc_maxcut::solve(graph, spec)
+//!      │                        │  (BatchedLifGw / BatchedLifTrevisan
+//!      │                        │   ReplicaBatch stepping, seeded ladder)
+//!      │                        ▼
+//!      └──────────◀── deterministic JSON body (+ x-snc-elapsed-us header)
+//! ```
+//!
+//! Identical `(request, seed)` pairs produce byte-identical response
+//! bodies regardless of connection interleaving or worker assignment:
+//! the solve is a pure function of the parsed request, and rendering is
+//! deterministic. Timing travels only in a response header.
+//!
+//! Shutdown is graceful: [`ServerHandle::shutdown`] stops the acceptor,
+//! lets every connection finish its in-flight request (idle keep-alive
+//! reads poll a flag on a short timeout), and drains the worker queue
+//! before joining.
+
+use crate::http::{self, HttpError, Request};
+use crate::jobs::{JobStatus, JobStore};
+use crate::wire::{self, RequestDefaults};
+use snc_experiments::json::Json;
+use snc_experiments::runner::WorkerPool;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and the acceptor wake to check the shutdown
+/// flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server configuration (all knobs the binary exposes, plus limits).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral
+    /// port; read it back from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Solver worker threads (the `WorkerPool` width).
+    pub threads: usize,
+    /// Default replica width for requests that omit `"replicas"`.
+    pub replicas: usize,
+    /// Bounded solver queue depth; beyond it, requests get 503.
+    pub queue_depth: usize,
+    /// Async job records retained before eviction.
+    pub store_capacity: usize,
+    /// Largest accepted sample budget per request.
+    pub max_budget: u64,
+    /// Largest accepted vertex count per request.
+    pub max_vertices: usize,
+    /// Largest accepted replica width per request.
+    pub max_replicas: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: snc_neuro::parallel::default_threads(),
+            replicas: 1,
+            queue_depth: 64,
+            store_capacity: 256,
+            max_budget: 1 << 22,
+            max_vertices: 10_000,
+            max_replicas: 1024,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn request_defaults(&self) -> RequestDefaults {
+        RequestDefaults {
+            replicas: self.replicas,
+            // Match the experiment harness exactly (rank 4, fast-Δt LIF
+            // params), so a request carrying a figure's per-graph seed
+            // reproduces that figure's circuit trace bit for bit.
+            sdp_rank: 4,
+            lif: snc_experiments::SuiteConfig::for_scale(
+                snc_experiments::ExperimentScale::Standard,
+            )
+            .lif,
+            max_budget: self.max_budget,
+            max_vertices: self.max_vertices,
+            max_replicas: self.max_replicas,
+        }
+    }
+}
+
+/// Shared state every connection thread sees.
+///
+/// `store` is its own `Arc` so async job closures can capture *only*
+/// the store: a queued job must never own (and therefore never be the
+/// last owner of, and drop) the pool it runs on — the pool's teardown
+/// joins its workers, which must not happen on a worker thread. With
+/// this split, the last `Arc<Shared>` is always dropped by the
+/// `ServerHandle` (or the acceptor), so `shutdown()` deterministically
+/// drains and joins the pool on the caller's thread.
+struct Shared {
+    cfg: ServerConfig,
+    defaults: RequestDefaults,
+    pool: WorkerPool<'static>,
+    store: Arc<JobStore>,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle shuts the server down
+/// gracefully (acceptor stopped, in-flight requests finished, worker
+/// queue drained).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Binds the listener and starts the acceptor and worker threads.
+///
+/// # Errors
+///
+/// Propagates socket bind failures.
+pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        defaults: cfg.request_defaults(),
+        pool: WorkerPool::bounded(cfg.threads, cfg.queue_depth),
+        store: Arc::new(JobStore::new(cfg.store_capacity)),
+        shutdown: AtomicBool::new(false),
+        cfg,
+    });
+    let acceptor_shared = Arc::clone(&shared);
+    let acceptor = std::thread::spawn(move || accept_loop(&listener, &acceptor_shared));
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown and blocks until the acceptor, all
+    /// connection threads, and the (drained) worker pool have exited:
+    /// after the acceptor joins (which joins the connections), this
+    /// handle holds the last `Arc<Shared>` — job closures capture only
+    /// the store — so dropping it here tears the pool down on the
+    /// caller's thread, draining every queued job and joining the
+    /// workers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the server exits (which, absent an external
+    /// [`ServerHandle::shutdown`], is never — the binary's serve-forever
+    /// mode).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accepts connections until shutdown, then joins every connection
+/// thread (the worker pool drains when `Shared` drops).
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Reap finished connection threads on every accept as
+                // well as when idle, so sustained traffic (which starves
+                // the WouldBlock arm) cannot grow the vector without
+                // bound.
+                connections.retain(|handle| !handle.is_finished());
+                let shared = Arc::clone(shared);
+                connections.push(std::thread::spawn(move || serve_connection(stream, &shared)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+                connections.retain(|handle| !handle.is_finished());
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// The per-connection HTTP/1.1 keep-alive loop.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let should_abort = || shared.shutdown.load(Ordering::SeqCst);
+    loop {
+        match http::read_request(
+            &mut reader,
+            &mut writer,
+            shared.cfg.max_body_bytes,
+            &should_abort,
+        ) {
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive && !should_abort();
+                let started = Instant::now();
+                let (status, body) = match route(&request, shared) {
+                    Ok(reply) => reply,
+                    Err(e) => (e.status, wire::error_body(&e.message)),
+                };
+                let elapsed_us = started.elapsed().as_micros().to_string();
+                let extra = [("x-snc-elapsed-us", elapsed_us)];
+                if http::write_response(
+                    &mut writer,
+                    status,
+                    &extra,
+                    body.as_bytes(),
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(e) => {
+                let body = wire::error_body(&e.message);
+                let _ = http::write_response(&mut writer, e.status, &[], body.as_bytes(), false);
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one parsed request to its endpoint.
+fn route(request: &Request, shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok((200, healthz(shared))),
+        ("POST", "/solve") => solve_sync(&request.body, shared),
+        ("POST", "/jobs") => submit_job(&request.body, shared),
+        ("GET", path) if path.starts_with("/jobs/") => poll_job(path, shared),
+        ("GET", "/") => Ok((200, index_body())),
+        (_, "/healthz" | "/solve" | "/jobs" | "/") => {
+            Err(HttpError::new(405, "method not allowed"))
+        }
+        (_, path) if path.starts_with("/jobs/") => Err(HttpError::new(405, "method not allowed")),
+        _ => Err(HttpError::new(404, "no such endpoint")),
+    }
+}
+
+fn index_body() -> String {
+    Json::Obj(vec![
+        ("service".into(), Json::str("snc-server")),
+        (
+            "endpoints".into(),
+            Json::Arr(
+                ["GET /healthz", "POST /solve", "POST /jobs", "GET /jobs/{id}"]
+                    .into_iter()
+                    .map(Json::str)
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
+}
+
+fn healthz(shared: &Arc<Shared>) -> String {
+    Json::Obj(vec![
+        ("status".into(), Json::str("ok")),
+        ("threads".into(), Json::UInt(shared.pool.threads() as u64)),
+        (
+            "in_flight".into(),
+            Json::UInt(shared.pool.in_flight() as u64),
+        ),
+        (
+            "queue_depth".into(),
+            Json::UInt(shared.cfg.queue_depth as u64),
+        ),
+        ("jobs_stored".into(), Json::UInt(shared.store.len() as u64)),
+    ])
+    .render()
+}
+
+/// Runs a solve with panic containment; a panic anywhere below the
+/// dispatch layer becomes an error string instead of killing the
+/// response path (sync) or stranding a job record at `running` (async).
+fn guarded_solve(
+    graph: &snc_graph::Graph,
+    spec: &snc_maxcut::SolveSpec,
+) -> Result<snc_maxcut::SolveOutcome, (u16, String)> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        snc_maxcut::solve(graph, spec)
+    })) {
+        // Parse-time validation already rejected every client-side cause
+        // of SolveError (zero budget, empty graph), so what reaches here
+        // is an internal failure: answer 500, not 400.
+        Ok(Err(e)) => Err((500, format!("solve failed: {e}"))),
+        Err(_) => Err((500, "internal error: solver panicked".to_string())),
+        Ok(Ok(outcome)) => Ok(outcome),
+    }
+}
+
+/// `POST /solve`: parse, schedule on the pool, await, answer.
+fn solve_sync(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+    let job = wire::parse_solve_request(body, &shared.defaults)
+        .map_err(|e| HttpError::new(400, e.0))?;
+    let ticket = shared
+        .pool
+        .try_submit(move || {
+            guarded_solve(&job.graph, &job.spec)
+                .map(|outcome| wire::solve_response(&job, &outcome).render())
+        })
+        .map_err(|_| HttpError::new(503, "solver queue is full, retry later"))?;
+    match ticket.wait() {
+        Ok(body) => Ok((200, body)),
+        Err((status, message)) => Err(HttpError::new(status, message)),
+    }
+}
+
+/// `POST /jobs`: parse, record, schedule; the worker finishes the
+/// record. Answers 202 with the job id.
+fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+    let job = wire::parse_solve_request(body, &shared.defaults)
+        .map_err(|e| HttpError::new(400, e.0))?;
+    let id = shared.store.insert();
+    // The closure captures the store only — never `Arc<Shared>`, which
+    // owns the pool the closure runs on (see the `Shared` docs).
+    let store = Arc::clone(&shared.store);
+    let submitted = shared.pool.try_submit(move || {
+        store.set_running(id);
+        // guarded_solve contains panics, so the record always reaches a
+        // terminal state — a poller can never see `running` forever.
+        let result = guarded_solve(&job.graph, &job.spec)
+            .map(|outcome| wire::solve_response(&job, &outcome))
+            .map_err(|(_, message)| message);
+        store.finish(id, result);
+    });
+    if submitted.is_err() {
+        shared.store.remove(id);
+        return Err(HttpError::new(503, "solver queue is full, retry later"));
+    }
+    Ok((
+        202,
+        Json::Obj(vec![
+            ("id".into(), Json::UInt(id)),
+            ("status".into(), Json::str("queued")),
+        ])
+        .render(),
+    ))
+}
+
+/// `GET /jobs/{id}`: snapshot the record.
+fn poll_job(path: &str, shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+    let id: u64 = path
+        .strip_prefix("/jobs/")
+        .and_then(|raw| raw.parse().ok())
+        .ok_or_else(|| HttpError::new(400, "job id must be an integer"))?;
+    let status = shared
+        .store
+        .get(id)
+        .ok_or_else(|| HttpError::new(404, format!("no job {id} (expired or never existed)")))?;
+    let mut members = vec![
+        ("id".into(), Json::UInt(id)),
+        ("status".into(), Json::str(status.name())),
+    ];
+    match status {
+        JobStatus::Done(result) => members.push(("result".into(), result)),
+        JobStatus::Failed(message) => members.push(("error".into(), Json::str(message))),
+        JobStatus::Queued | JobStatus::Running => {}
+    }
+    Ok((200, Json::Obj(members).render()))
+}

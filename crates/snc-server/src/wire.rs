@@ -1,0 +1,556 @@
+//! The service wire format: JSON solve requests in, JSON results out.
+//!
+//! Requests name a graph (inline edges, edge-list text, a Figure-4
+//! dataset, or a seeded Erdős–Rényi generator), a circuit family, a
+//! sample budget, an optional replica width, and a seed:
+//!
+//! ```json
+//! {
+//!   "graph": "road-chesapeake",
+//!   "circuit": "lif-gw",
+//!   "budget": 512,
+//!   "replicas": 4,
+//!   "seed": 42
+//! }
+//! ```
+//!
+//! Everything renders through [`snc_experiments::json`] — the same
+//! escaper the experiment reports use — and response rendering is a
+//! pure function of the solve outcome, so identical requests produce
+//! byte-identical bodies no matter which worker or connection served
+//! them. Timing never enters the body (it travels in the
+//! `x-snc-elapsed-us` response header).
+
+use snc_experiments::json::{self, Json};
+use snc_graph::generators::erdos_renyi::gnp;
+use snc_graph::io::edgelist;
+use snc_graph::{EmpiricalDataset, Graph};
+use snc_maxcut::{CircuitFamily, SolveOutcome, SolveSpec};
+use snc_neuro::LifParams;
+
+/// Server-side defaults and limits applied while parsing requests.
+#[derive(Clone, Debug)]
+pub struct RequestDefaults {
+    /// Replica width when the request omits `"replicas"`.
+    pub replicas: usize,
+    /// SDP rank for LIF-GW (the paper's 4).
+    pub sdp_rank: usize,
+    /// Membrane parameters for both circuit families.
+    pub lif: LifParams,
+    /// Largest accepted `"budget"`.
+    pub max_budget: u64,
+    /// Largest accepted vertex count (guards the dense SDP stage).
+    ///
+    /// Enforced *before* any graph is materialized: inline edge ids,
+    /// declared `"n"`, and generator sizes are all bounded pre-allocation,
+    /// so a tiny request body cannot trigger a huge allocation.
+    pub max_vertices: usize,
+    /// Largest accepted `"replicas"` (per-replica circuit state is
+    /// O(n), so an uncapped width is an allocation amplifier).
+    pub max_replicas: usize,
+}
+
+/// A parsed, validated solve request: the graph to cut and the fully
+/// resolved spec to dispatch.
+#[derive(Clone, Debug)]
+pub struct SolveJob {
+    /// The graph built from the request body.
+    pub graph: Graph,
+    /// The resolved solve spec ([`snc_maxcut::solve()`]'s input).
+    pub spec: SolveSpec,
+    /// A deterministic label of the graph source, echoed in responses.
+    pub graph_label: String,
+}
+
+/// A request-rejection message (answered as HTTP 400).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError(message.into())
+}
+
+/// Parses and validates a solve-request body.
+///
+/// # Errors
+///
+/// Returns [`WireError`] (→ HTTP 400) for malformed JSON, unknown keys,
+/// missing/invalid fields, graphs without edges, or limit violations.
+pub fn parse_solve_request(
+    body: &[u8],
+    defaults: &RequestDefaults,
+) -> Result<SolveJob, WireError> {
+    let text = std::str::from_utf8(body).map_err(|_| err("body is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|e| err(e.to_string()))?;
+    let members = doc
+        .as_object()
+        .ok_or_else(|| err("request body must be a JSON object"))?;
+    for (key, _) in members {
+        if !matches!(key.as_str(), "graph" | "circuit" | "budget" | "replicas" | "seed") {
+            return Err(err(format!(
+                "unknown key `{key}` (expected graph, circuit, budget, replicas, seed)"
+            )));
+        }
+    }
+
+    let (graph, graph_label) = parse_graph(
+        doc.get("graph").ok_or_else(|| err("missing `graph`"))?,
+        defaults,
+    )?;
+    if graph.m() == 0 {
+        return Err(err("graph has no edges; MAXCUT needs at least one"));
+    }
+
+    let family = match doc.get("circuit") {
+        None => CircuitFamily::LifGw,
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| err("`circuit` must be a string"))?;
+            CircuitFamily::from_name(name).ok_or_else(|| {
+                err(format!("unknown circuit `{name}` (expected lif-gw or lif-trevisan)"))
+            })?
+        }
+    };
+
+    let budget = doc
+        .get("budget")
+        .ok_or_else(|| err("missing `budget`"))?
+        .as_u64()
+        .ok_or_else(|| err("`budget` must be a non-negative integer"))?;
+    if budget == 0 {
+        return Err(err("`budget` must be ≥ 1"));
+    }
+    if budget > defaults.max_budget {
+        return Err(err(format!(
+            "`budget` {budget} exceeds the server limit of {}",
+            defaults.max_budget
+        )));
+    }
+
+    let replicas = match doc.get("replicas") {
+        None => defaults.replicas,
+        Some(v) => {
+            let r = v
+                .as_usize()
+                .ok_or_else(|| err("`replicas` must be a non-negative integer"))?;
+            if r == 0 {
+                return Err(err("`replicas` must be ≥ 1"));
+            }
+            if r > defaults.max_replicas {
+                return Err(err(format!(
+                    "`replicas` {r} exceeds the server limit of {}",
+                    defaults.max_replicas
+                )));
+            }
+            r
+        }
+    };
+
+    let seed = match doc.get("seed") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| err("`seed` must be a non-negative integer"))?,
+    };
+
+    Ok(SolveJob {
+        graph,
+        spec: SolveSpec {
+            family,
+            budget,
+            replicas,
+            seed,
+            sdp_rank: defaults.sdp_rank,
+            lif: defaults.lif,
+        },
+        graph_label,
+    })
+}
+
+/// Builds the graph named by the request's `"graph"` value.
+fn parse_graph(
+    value: &Json,
+    defaults: &RequestDefaults,
+) -> Result<(Graph, String), WireError> {
+    let (graph, label) = match value {
+        Json::Str(name) => {
+            let dataset = EmpiricalDataset::all()
+                .into_iter()
+                .find(|d| d.name() == name)
+                .ok_or_else(|| err(format!("unknown dataset `{name}`")))?;
+            let graph = dataset
+                .load()
+                .map_err(|e| err(format!("failed to build dataset `{name}`: {e}")))?;
+            (graph, format!("dataset:{name}"))
+        }
+        Json::Obj(members) => {
+            // Strict like the top level: an unknown (or misplaced) key is
+            // a rejection, not silent drift — a mis-cased `"N"` must not
+            // quietly solve a differently-shaped graph.
+            for (key, _) in members {
+                match key.as_str() {
+                    "edges" | "edgelist" | "gnp" => {}
+                    "n" if value.get("edges").is_some() => {}
+                    "n" => {
+                        return Err(err(
+                            "`n` is only valid alongside `edges` (edge lists and gnp carry their own size)",
+                        ))
+                    }
+                    other => {
+                        return Err(err(format!(
+                            "unknown key `{other}` in `graph` (expected edges, edgelist, gnp, or n with edges)"
+                        )))
+                    }
+                }
+            }
+            let keys: Vec<&str> = ["edges", "edgelist", "gnp"]
+                .into_iter()
+                .filter(|k| value.get(k).is_some())
+                .collect();
+            match keys.as_slice() {
+                ["edges"] => {
+                    let pairs = parse_edge_pairs(value.get("edges").expect("key present"))?;
+                    let declared_n = match value.get("n") {
+                        None => None,
+                        Some(v) => Some(
+                            v.as_usize()
+                                .ok_or_else(|| err("`n` must be a non-negative integer"))?,
+                        ),
+                    };
+                    // Bound *before* building: a tiny body naming a huge
+                    // id (or declaring a huge n) must not allocate.
+                    let max_id = pairs.iter().map(|&(u, v)| u.max(v)).max().unwrap_or(0);
+                    let implied_n = declared_n
+                        .unwrap_or_else(|| max_id.saturating_add(1).min(usize::MAX as u64) as usize);
+                    check_vertices(implied_n, defaults)?;
+                    let graph = edgelist::from_pairs(&pairs, declared_n)
+                        .map_err(|e| err(format!("invalid edges: {e}")))?;
+                    (graph, "edges".to_string())
+                }
+                ["edgelist"] => {
+                    let text = value
+                        .get("edgelist")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| err("`edgelist` must be a string"))?;
+                    // Scan first (no allocation), bound-check the implied
+                    // vertex count, then build.
+                    let raw = edgelist::scan(text)
+                        .map_err(|e| err(format!("invalid edge list: {e}")))?;
+                    check_vertices(raw.n(), defaults)?;
+                    let graph = raw
+                        .into_graph()
+                        .map_err(|e| err(format!("invalid edge list: {e}")))?;
+                    (graph, "edgelist".to_string())
+                }
+                ["gnp"] => {
+                    let spec = value.get("gnp").expect("key present");
+                    for (key, _) in spec.as_object().unwrap_or(&[]) {
+                        if !matches!(key.as_str(), "n" | "p" | "seed") {
+                            return Err(err(format!(
+                                "unknown key `{key}` in `gnp` (expected n, p, seed)"
+                            )));
+                        }
+                    }
+                    let n = spec
+                        .get("n")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| err("`gnp.n` must be a non-negative integer"))?;
+                    let p = spec
+                        .get("p")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| err("`gnp.p` must be a number"))?;
+                    let seed = match spec.get("seed") {
+                        None => 0,
+                        Some(v) => v
+                            .as_u64()
+                            .ok_or_else(|| err("`gnp.seed` must be a non-negative integer"))?,
+                    };
+                    // Bound *before* generating: a huge `n` must not
+                    // allocate anything.
+                    check_vertices(n, defaults)?;
+                    let graph = gnp(n, p, seed)
+                        .map_err(|e| err(format!("invalid gnp parameters: {e}")))?;
+                    // `p` formats deterministically (shortest round-trip).
+                    (graph, format!("gnp(n={n},p={p},seed={seed})"))
+                }
+                [] => {
+                    return Err(err(
+                        "`graph` object must contain one of `edges`, `edgelist`, `gnp`",
+                    ))
+                }
+                _ => {
+                    return Err(err(
+                        "`graph` object must contain exactly one of `edges`, `edgelist`, `gnp`",
+                    ))
+                }
+            }
+        }
+        _ => {
+            return Err(err(
+                "`graph` must be a dataset name or an object with `edges`, `edgelist`, or `gnp`",
+            ))
+        }
+    };
+    // Backstop; every arm above already bound-checked pre-allocation.
+    check_vertices(graph.n(), defaults)?;
+    Ok((graph, label))
+}
+
+/// The shared pre-allocation vertex bound.
+fn check_vertices(n: usize, defaults: &RequestDefaults) -> Result<(), WireError> {
+    if n > defaults.max_vertices {
+        return Err(err(format!(
+            "graph has {n} vertices, exceeding the server limit of {}",
+            defaults.max_vertices
+        )));
+    }
+    Ok(())
+}
+
+fn parse_edge_pairs(value: &Json) -> Result<Vec<(u64, u64)>, WireError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| err("`edges` must be an array of [u, v] pairs"))?;
+    items
+        .iter()
+        .map(|item| {
+            let pair = item
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| err("each edge must be a [u, v] pair"))?;
+            let u = pair[0]
+                .as_u64()
+                .ok_or_else(|| err("edge endpoints must be non-negative integers"))?;
+            let v = pair[1]
+                .as_u64()
+                .ok_or_else(|| err("edge endpoints must be non-negative integers"))?;
+            Ok((u, v))
+        })
+        .collect()
+}
+
+/// Renders a solve outcome as the deterministic response body.
+///
+/// Pure function of `(job, outcome)`: no timestamps, ids, or timing —
+/// identical seeded requests render byte-identical bodies.
+pub fn solve_response(job: &SolveJob, outcome: &SolveOutcome) -> Json {
+    let partition: Vec<Json> = outcome
+        .best_cut
+        .sides()
+        .iter()
+        .map(|&s| Json::UInt(u64::from(s == 1)))
+        .collect();
+    Json::Obj(vec![
+        ("circuit".into(), Json::str(job.spec.family.name())),
+        ("graph".into(), Json::str(job.graph_label.clone())),
+        ("n".into(), Json::UInt(job.graph.n() as u64)),
+        ("m".into(), Json::UInt(job.graph.m() as u64)),
+        ("budget".into(), Json::UInt(job.spec.budget)),
+        ("replicas".into(), Json::UInt(outcome.replicas as u64)),
+        ("samples".into(), Json::UInt(outcome.samples)),
+        ("seed".into(), Json::UInt(job.spec.seed)),
+        ("best_cut".into(), Json::UInt(outcome.best_value)),
+        ("partition".into(), Json::Arr(partition)),
+        (
+            "sdp_bound".into(),
+            outcome.sdp_bound.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                (
+                    "checkpoints".into(),
+                    Json::Arr(
+                        outcome
+                            .trace
+                            .checkpoints
+                            .iter()
+                            .map(|&c| Json::UInt(c))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "best".into(),
+                    Json::Arr(outcome.trace.best.iter().map(|&b| Json::UInt(b)).collect()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Renders an error body (`{"error": …}`).
+pub fn error_body(message: &str) -> String {
+    Json::Obj(vec![("error".into(), Json::str(message))]).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> RequestDefaults {
+        RequestDefaults {
+            replicas: 2,
+            sdp_rank: 4,
+            lif: LifParams::default(),
+            max_budget: 1 << 20,
+            max_vertices: 10_000,
+            max_replicas: 64,
+        }
+    }
+
+    #[test]
+    fn parses_a_dataset_request() {
+        let body = br#"{"graph": "road-chesapeake", "circuit": "lif-gw", "budget": 64, "seed": 9}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!(job.graph.n(), 39);
+        assert_eq!(job.spec.family, CircuitFamily::LifGw);
+        assert_eq!(job.spec.budget, 64);
+        assert_eq!(job.spec.seed, 9);
+        assert_eq!(job.spec.replicas, 2, "server default fills in");
+        assert_eq!(job.graph_label, "dataset:road-chesapeake");
+    }
+
+    #[test]
+    fn parses_inline_edges_and_edgelist_and_gnp() {
+        let body = br#"{"graph": {"edges": [[0,1],[1,2],[2,0]]}, "budget": 8}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!((job.graph.n(), job.graph.m()), (3, 3));
+        assert_eq!(job.spec.family, CircuitFamily::LifGw, "default circuit");
+
+        let body = br#"{"graph": {"edges": [[0,1]], "n": 4}, "budget": 8}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!((job.graph.n(), job.graph.m()), (4, 1));
+
+        let body = br#"{"graph": {"edgelist": "0 1\n1 2\n"}, "budget": 8, "circuit": "lif-trevisan"}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!((job.graph.n(), job.graph.m()), (3, 2));
+        assert_eq!(job.spec.family, CircuitFamily::LifTrevisan);
+
+        let body = br#"{"graph": {"gnp": {"n": 20, "p": 0.5, "seed": 3}}, "budget": 8}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!(job.graph.n(), 20);
+        assert_eq!(job.graph_label, "gnp(n=20,p=0.5,seed=3)");
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_messages() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"not json", "invalid JSON"),
+            (br#"[1,2]"#, "must be a JSON object"),
+            (br#"{"budget": 8}"#, "missing `graph`"),
+            (br#"{"graph": "road-chesapeake"}"#, "missing `budget`"),
+            (br#"{"graph": "no-such-graph", "budget": 8}"#, "unknown dataset"),
+            (br#"{"graph": "road-chesapeake", "budget": 0}"#, "`budget` must be ≥ 1"),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "replicas": 0}"#,
+                "`replicas` must be ≥ 1",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "circuit": "gw"}"#,
+                "unknown circuit",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "bogus": 1}"#,
+                "unknown key `bogus`",
+            ),
+            (
+                br#"{"graph": {"edges": []}, "budget": 8}"#,
+                "no edges",
+            ),
+            (
+                br#"{"graph": {"edges": [[0,1]], "edgelist": "0 1"}, "budget": 8}"#,
+                "exactly one of",
+            ),
+            (
+                br#"{"graph": {"edges": [[0]]}, "budget": 8}"#,
+                "[u, v] pair",
+            ),
+            (
+                br#"{"graph": {"gnp": {"n": 99999999, "p": 0.5}}, "budget": 8}"#,
+                "exceeding the server limit",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 99999999999}"#,
+                "exceeds the server limit",
+            ),
+            // Allocation-amplifier guards: all of these must be rejected
+            // *before* any graph/circuit state is materialized.
+            (
+                br#"{"graph": {"edges": [[0, 4294967294]]}, "budget": 8}"#,
+                "exceeding the server limit",
+            ),
+            (
+                br#"{"graph": {"edges": [[0, 1]], "n": 4000000000}, "budget": 8}"#,
+                "exceeding the server limit",
+            ),
+            (
+                br#"{"graph": {"edgelist": "0 4294967294\n"}, "budget": 8}"#,
+                "exceeding the server limit",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 1048576, "replicas": 1048576}"#,
+                "`replicas` 1048576 exceeds",
+            ),
+            // Strict keys inside the graph object too: a mis-cased "N"
+            // must not be silently dropped.
+            (
+                br#"{"graph": {"edges": [[0,1]], "N": 4}, "budget": 8}"#,
+                "unknown key `N` in `graph`",
+            ),
+            (
+                br#"{"graph": {"gnp": {"n": 10, "p": 0.5}, "n": 10}, "budget": 8}"#,
+                "`n` is only valid alongside `edges`",
+            ),
+            (
+                br#"{"graph": {"gnp": {"n": 10, "p": 0.5, "Seed": 3}}, "budget": 8}"#,
+                "unknown key `Seed` in `gnp`",
+            ),
+        ];
+        for (body, needle) in cases {
+            let e = parse_solve_request(body, &defaults()).unwrap_err();
+            assert!(
+                e.0.contains(needle),
+                "expected {needle:?} in error for {:?}, got {:?}",
+                String::from_utf8_lossy(body),
+                e.0
+            );
+        }
+    }
+
+    #[test]
+    fn response_rendering_is_deterministic_and_consistent() {
+        let body = br#"{"graph": {"gnp": {"n": 12, "p": 0.5, "seed": 1}}, "budget": 16, "seed": 5}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        let outcome = snc_maxcut::solve(&job.graph, &job.spec).unwrap();
+        let a = solve_response(&job, &outcome).render();
+        let b = solve_response(&job, &snc_maxcut::solve(&job.graph, &job.spec).unwrap()).render();
+        assert_eq!(a, b, "identical request ⇒ identical body");
+        let parsed = snc_experiments::json::parse(&a).unwrap();
+        assert_eq!(parsed.get("best_cut").unwrap().as_u64(), Some(outcome.best_value));
+        let partition = parsed.get("partition").unwrap().as_array().unwrap();
+        assert_eq!(partition.len(), 12);
+        assert!(partition.iter().all(|s| matches!(s.as_u64(), Some(0 | 1))));
+        // The partition in the body achieves the reported cut value.
+        let sides: Vec<i8> = partition
+            .iter()
+            .map(|s| if s.as_u64() == Some(1) { 1 } else { -1 })
+            .collect();
+        let cut = snc_graph::CutAssignment::from_sides(sides);
+        assert_eq!(cut.cut_value(&job.graph), outcome.best_value);
+    }
+
+    #[test]
+    fn error_bodies_are_json() {
+        assert_eq!(
+            error_body("bad \"stuff\""),
+            "{\"error\":\"bad \\\"stuff\\\"\"}"
+        );
+    }
+}

@@ -1,18 +1,30 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no access to crates.io, so this shim provides
-//! the subset of `crossbeam::channel` the workspace uses — [`channel::unbounded`]
-//! with cloneable senders — backed by `std::sync::mpsc`.
+//! the subset of `crossbeam::channel` the workspace uses —
+//! [`channel::unbounded`] and [`channel::bounded`] with cloneable senders —
+//! backed by `std::sync::mpsc`.
 
 pub mod channel {
     //! Multi-producer multi-consumer channels (shimmed as multi-producer
-    //! single-consumer, which is the only shape the workspace needs).
+    //! single-consumer, which is the only shape the workspace needs — the
+    //! worker pool shares the receiving half behind a mutex).
 
     use std::sync::mpsc;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`], mirroring crossbeam's
+    /// distinction between a full bounded channel and a disconnected one.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// The receiver was dropped.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -28,28 +40,60 @@ pub mod channel {
         Disconnected,
     }
 
-    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel.
     #[derive(Debug)]
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: SenderInner<T>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Self {
-                inner: self.inner.clone(),
-            }
+            let inner = match &self.inner {
+                SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+            };
+            Self { inner }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends `value`, failing only if the receiver was dropped.
+        /// Sends `value`, blocking while a bounded channel is full;
+        /// fails only if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.inner {
+                SenderInner::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+                SenderInner::Bounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+                }
+            }
+        }
+
+        /// Sends `value` without blocking. On an unbounded channel this
+        /// can only fail with [`TrySendError::Disconnected`]; on a
+        /// bounded channel it also fails with [`TrySendError::Full`]
+        /// when at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+                SenderInner::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
         }
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     #[derive(Debug)]
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
@@ -81,7 +125,27 @@ pub mod channel {
     /// Creates an unbounded channel with a cloneable sender.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (
+            Sender {
+                inner: SenderInner::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages.
+    ///
+    /// Like crossbeam (and unlike `mpsc::sync_channel(0)`'s rendezvous
+    /// semantics being surprising in a queue), callers in this workspace
+    /// always pass `cap ≥ 1`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SenderInner::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
     }
 
     #[cfg(test)]
@@ -98,6 +162,28 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(1));
             assert_eq!(rx.recv(), Ok(2));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        }
+
+        #[test]
+        fn unbounded_try_send_never_full() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.try_send(i).unwrap();
+            }
+            drop(rx);
+            assert_eq!(tx.try_send(0), Err(TrySendError::Disconnected(0)));
         }
     }
 }

@@ -9,6 +9,8 @@
 //! * [`snc_neuro`] — LIF neurons, populations, synaptic plasticity.
 //! * [`snc_maxcut`] — MAXCUT solvers and the LIF-GW / LIF-Trevisan circuits.
 //! * [`snc_experiments`] — the harness regenerating the paper's figures.
+//! * [`snc_server`] — the concurrent MAXCUT solve service (HTTP job
+//!   queue over the batched samplers).
 
 pub use snc_devices;
 pub use snc_experiments;
@@ -16,3 +18,4 @@ pub use snc_graph;
 pub use snc_linalg;
 pub use snc_maxcut;
 pub use snc_neuro;
+pub use snc_server;

@@ -1,0 +1,169 @@
+//! End-to-end smoke test of the `snc-server` serving layer, over real
+//! TCP.
+//!
+//! Launches the server on an ephemeral port and drives it with a
+//! hand-rolled `std::net::TcpStream` client (the curl-equivalent from
+//! the README):
+//!
+//! * the same seeded solve request on N ≥ 4 **concurrent** connections
+//!   must produce byte-identical response bodies (the determinism
+//!   contract: timing lives in a header, never the body);
+//! * the returned partition must be a valid cut achieving exactly the
+//!   reported `best_cut`;
+//! * async submit/poll must converge to the same result object;
+//! * error paths answer 400/404, health answers 200;
+//! * shutdown is graceful.
+
+use snc_server::{serve, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One round-trip: connect, send a request with `Connection: close`,
+/// read to EOF, split into (status, body).
+fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: snc\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let status: u16 = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line in {response:?}"));
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn start_server() -> snc_server::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 3,
+        replicas: 1,
+        queue_depth: 32,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+const SOLVE_REQUEST: &str = r#"{"graph": "road-chesapeake", "circuit": "lif-gw", "budget": 128, "replicas": 4, "seed": 42}"#;
+
+#[test]
+fn concurrent_identical_requests_get_byte_identical_valid_responses() {
+    let handle = start_server();
+    let addr = handle.addr();
+
+    // N = 6 concurrent connections, all sending the same seeded request.
+    let bodies: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..6)
+            .map(|_| scope.spawn(move || roundtrip(addr, "POST", "/solve", SOLVE_REQUEST)))
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for (status, _) in &bodies {
+        assert_eq!(*status, 200);
+    }
+    let reference = &bodies[0].1;
+    for (i, (_, body)) in bodies.iter().enumerate() {
+        assert_eq!(body, reference, "connection {i} diverged");
+    }
+    // Replaying the same request later must also reproduce it.
+    let (status, replay) = roundtrip(addr, "POST", "/solve", SOLVE_REQUEST);
+    assert_eq!(status, 200);
+    assert_eq!(&replay, reference, "sequential replay diverged");
+
+    // The partition is a valid cut matching the reported value.
+    let doc = snc_experiments::json::parse(reference).expect("valid JSON body");
+    let best_cut = doc.get("best_cut").unwrap().as_u64().unwrap();
+    let graph = snc_graph::EmpiricalDataset::RoadChesapeake.load().unwrap();
+    assert_eq!(doc.get("n").unwrap().as_usize(), Some(graph.n()));
+    assert_eq!(doc.get("m").unwrap().as_usize(), Some(graph.m()));
+    let sides: Vec<i8> = doc
+        .get("partition")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| match s.as_u64() {
+            Some(1) => 1,
+            Some(0) => -1,
+            other => panic!("partition entries must be 0/1, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(sides.len(), graph.n());
+    let cut = snc_graph::CutAssignment::from_sides(sides);
+    assert_eq!(cut.cut_value(&graph), best_cut, "partition must achieve best_cut");
+    // … and best_cut is the final trace value on a grid ending at the
+    // full budget (128 divisible by 4 replicas).
+    let trace = doc.get("trace").unwrap();
+    assert_eq!(trace.get("best").unwrap().as_array().unwrap().last().unwrap().as_u64(), Some(best_cut));
+    assert_eq!(trace.get("checkpoints").unwrap().as_array().unwrap().last().unwrap().as_u64(), Some(128));
+    assert_eq!(doc.get("samples").unwrap().as_u64(), Some(128));
+    assert_eq!(doc.get("seed").unwrap().as_u64(), Some(42));
+
+    handle.shutdown(); // graceful: must not hang or panic
+}
+
+#[test]
+fn async_jobs_match_sync_results_and_errors_are_mapped() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let request = r#"{"graph": {"gnp": {"n": 20, "p": 0.5, "seed": 2}}, "circuit": "lif-trevisan", "budget": 32, "seed": 5}"#;
+
+    let (status, sync_body) = roundtrip(addr, "POST", "/solve", request);
+    assert_eq!(status, 200);
+    let sync_doc = snc_experiments::json::parse(&sync_body).unwrap();
+
+    let (status, submitted) = roundtrip(addr, "POST", "/jobs", request);
+    assert_eq!(status, 202);
+    let id = snc_experiments::json::parse(&submitted)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    // Poll until the job finishes (workers are live, so this is quick).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let result = loop {
+        let (status, poll) = roundtrip(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200);
+        let doc = snc_experiments::json::parse(&poll).unwrap();
+        match doc.get("status").unwrap().as_str().unwrap() {
+            "done" => break doc.get("result").unwrap().clone(),
+            "failed" => panic!("job failed: {poll}"),
+            _ => {
+                assert!(std::time::Instant::now() < deadline, "job never finished");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    };
+    // The async result is exactly the sync response object.
+    assert_eq!(result, sync_doc);
+
+    // Health, routing, and validation errors.
+    let (status, health) = roundtrip(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""));
+    let (status, _) = roundtrip(addr, "GET", "/no-such", "");
+    assert_eq!(status, 404);
+    let (status, _) = roundtrip(addr, "GET", "/solve", "");
+    assert_eq!(status, 405);
+    let (status, body) = roundtrip(addr, "POST", "/solve", "{\"budget\": 4}");
+    assert_eq!(status, 400);
+    assert!(body.contains("missing `graph`"), "got {body}");
+    let (status, _) = roundtrip(addr, "GET", "/jobs/99999", "");
+    assert_eq!(status, 404);
+
+    // Shutdown with an async job still in flight must drain gracefully
+    // (the pool is joined on this thread — never torn down on a worker).
+    let (status, _) = roundtrip(addr, "POST", "/jobs", request);
+    assert_eq!(status, 202);
+    handle.shutdown();
+}
