@@ -8,6 +8,9 @@
 //!   `snc_linalg::LinOp`.
 //! * [`cut`] — cut assignments (`±1` vertex labels), cut values, and
 //!   incremental flip deltas.
+//! * [`fingerprint`] — canonical order-independent 128-bit graph hashes,
+//!   the cache keys of the solve/serving layers (always paired with a
+//!   full-key comparison by consumers).
 //! * [`generators`] — Erdős–Rényi (the Figure-3 workload), Chung–Lu,
 //!   Watts–Strogatz, preferential attachment, random geometric, banded-mesh
 //!   and classic structured graphs, along with *exact* reconstructions of
@@ -29,6 +32,7 @@ pub mod csr;
 pub mod cut;
 pub mod datasets;
 pub mod error;
+pub mod fingerprint;
 pub mod generators;
 pub mod incremental;
 pub mod io;
@@ -38,6 +42,7 @@ pub mod weighted;
 pub use csr::{Graph, NormalizedAdjacency, TrevisanOperator};
 pub use cut::CutAssignment;
 pub use datasets::EmpiricalDataset;
+pub use fingerprint::GraphFingerprint;
 pub use incremental::{CutTracker, WeightedCutTracker};
 pub use error::GraphError;
 pub use weighted::{WeightedGraph, WeightedTrevisanOperator};

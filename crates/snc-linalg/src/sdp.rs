@@ -86,6 +86,17 @@ impl SdpSolution {
     pub fn gram(&self) -> DMatrix {
         self.factors.gram_rows()
     }
+
+    /// Consumes the solution and returns its factor matrix together with
+    /// the implied MAXCUT upper bound (see [`SdpSolution::cut_upper_bound`]).
+    ///
+    /// This is the pair downstream caches retain — the factor is the
+    /// expensive artifact of the offline stage, and moving it out avoids
+    /// cloning an `n × r` matrix per cache insert.
+    pub fn into_factor_and_bound(self, total_weight: f64) -> (DMatrix, f64) {
+        let bound = self.cut_upper_bound(total_weight);
+        (self.factors, bound)
+    }
 }
 
 /// Solves `min Σ w ⟨v_i, v_j⟩` over unit vectors `v_i ∈ S^{r−1}`.
@@ -364,6 +375,17 @@ mod tests {
         let mut c = cfg(2);
         c.rank = 0;
         assert!(solve_maxcut_sdp(2, &[(0, 1)], &c).is_err());
+    }
+
+    #[test]
+    fn into_factor_and_bound_matches_the_accessors() {
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let sol = solve_maxcut_sdp(3, &edges, &cfg(2)).unwrap();
+        let bound = sol.cut_upper_bound(3.0);
+        let factors = sol.factors.clone();
+        let (extracted, extracted_bound) = sol.into_factor_and_bound(3.0);
+        assert_eq!(extracted, factors);
+        assert_eq!(extracted_bound, bound);
     }
 
     #[test]

@@ -45,11 +45,8 @@ pub struct GwSolution {
 pub fn solve_gw(graph: &Graph, cfg: &GwConfig) -> Result<GwSolution, LinalgError> {
     let edges: Vec<(u32, u32)> = graph.edges().collect();
     let sol = sdp::solve_maxcut_sdp(graph.n(), &edges, &cfg.sdp)?;
-    let sdp_bound = sol.cut_upper_bound(graph.m() as f64);
-    Ok(GwSolution {
-        factors: sol.factors,
-        sdp_bound,
-    })
+    let (factors, sdp_bound) = sol.into_factor_and_bound(graph.m() as f64);
+    Ok(GwSolution { factors, sdp_bound })
 }
 
 /// The Bertsimas–Ye sampling stage: cuts from sign-thresholded correlated

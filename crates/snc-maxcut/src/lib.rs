@@ -22,6 +22,9 @@
 //!   parallel sampling runner.
 //! * [`extensions`] — MAX2SAT and MAXDICUT via the same SDP + rounding
 //!   machinery, the generalization sketched in the Discussion (§VI).
+//! * [`cache`] — the deterministic [`SdpCache`]: memoized SDP
+//!   factor/bound pairs keyed by `(graph fingerprint, sdp seed, rank)`,
+//!   so repeated LIF-GW solves of one graph pay the offline stage once.
 //! * [`mod@solve`] — request→circuit dispatch: one deterministic entry point
 //!   turning (graph, family, budget, replicas, seed) into the best cut,
 //!   its partition, and a merged trace — the unit of work the
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod anneal;
+pub mod cache;
 pub mod circuits;
 pub mod exact;
 pub mod extensions;
@@ -43,6 +47,7 @@ pub mod stats;
 pub mod trevisan;
 pub mod weighted;
 
+pub use cache::{CacheStats, SdpCache};
 pub use circuits::lif_gw::{BatchedLifGwCircuit, LifGwCircuit, LifGwConfig};
 pub use circuits::lif_trevisan::{BatchedLifTrevisanCircuit, LifTrevisanCircuit, LifTrevisanConfig};
 pub use gw::{solve_gw, GwConfig, GwSampler, GwSolution};
@@ -50,5 +55,5 @@ pub use random::RandomCutSampler;
 pub use sampling::{
     log2_checkpoints, merge_traces, parallel_best_traces, sample_best_trace, BestTrace, CutSampler,
 };
-pub use solve::{solve, CircuitFamily, SolveError, SolveOutcome, SolveSpec};
+pub use solve::{solve, solve_with_cache, CircuitFamily, SolveError, SolveOutcome, SolveSpec};
 pub use trevisan::{solve_trevisan, SpectralRounding, TrevisanConfig, TrevisanSolution};

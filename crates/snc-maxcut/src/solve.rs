@@ -20,14 +20,16 @@
 //! with identical inputs return identical outcomes, on any thread, at
 //! any concurrency.
 
+use crate::cache::SdpCache;
 use crate::circuits::lif_gw::{BatchedLifGwCircuit, LifGwConfig};
 use crate::circuits::lif_trevisan::{BatchedLifTrevisanCircuit, LifTrevisanConfig};
-use crate::gw::{solve_gw, GwConfig};
+use crate::gw::{solve_gw, GwConfig, GwSolution};
 use crate::sampling::{log2_checkpoints, BestTrace};
 use snc_devices::SplitMix64;
 use snc_graph::{CutAssignment, CutTracker, Graph};
 use snc_linalg::{LinalgError, SdpConfig};
 use snc_neuro::{LifParams, TwoStageConfig};
+use std::sync::Arc;
 
 /// The two neuromorphic circuit families a request can name (§IV).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -191,6 +193,29 @@ pub fn replica_checkpoints(budget: u64, replicas: usize) -> Vec<u64> {
 /// [`SolveError::EmptyGraph`] for a vertexless graph, and propagates SDP
 /// failures for LIF-GW.
 pub fn solve(graph: &Graph, spec: &SolveSpec) -> Result<SolveOutcome, SolveError> {
+    solve_with_cache(graph, spec, None)
+}
+
+/// [`solve`] with an optional [`SdpCache`] consulted for the LIF-GW
+/// offline stage.
+///
+/// LIF-GW requests look up `(graph fingerprint, derived sdp seed, rank)`
+/// in the cache and reuse the stored factor/bound on a hit, skipping the
+/// SDP entirely; LIF-Trevisan does no offline work and bypasses the
+/// cache untouched. Because the cached factor is bit-identical to a
+/// fresh solve's (the SDP is deterministic in its seed) and the sampling
+/// RNG streams derive from separate seed slots, a warm call returns
+/// bit-for-bit the outcome of a cold [`solve`] — the cache can change
+/// latency, never answers.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with_cache(
+    graph: &Graph,
+    spec: &SolveSpec,
+    cache: Option<&SdpCache>,
+) -> Result<SolveOutcome, SolveError> {
     if spec.budget == 0 {
         return Err(SolveError::EmptyBudget);
     }
@@ -201,12 +226,18 @@ pub fn solve(graph: &Graph, spec: &SolveSpec) -> Result<SolveOutcome, SolveError
     let checkpoints = replica_checkpoints(spec.budget, spec.replicas);
     match spec.family {
         CircuitFamily::LifGw => {
-            let sdp_cfg = SdpConfig {
-                rank: spec.sdp_rank,
-                seed: SplitMix64::derive(spec.seed, 1),
-                ..SdpConfig::default()
+            let sdp_seed = SplitMix64::derive(spec.seed, 1);
+            let gw: Arc<GwSolution> = match cache {
+                Some(cache) => cache.get_or_solve(graph, sdp_seed, spec.sdp_rank)?,
+                None => {
+                    let sdp_cfg = SdpConfig {
+                        rank: spec.sdp_rank,
+                        seed: sdp_seed,
+                        ..SdpConfig::default()
+                    };
+                    Arc::new(solve_gw(graph, &GwConfig { sdp: sdp_cfg })?)
+                }
             };
-            let gw = solve_gw(graph, &GwConfig { sdp: sdp_cfg })?;
             let cfg = LifGwConfig {
                 lif: spec.lif,
                 ..LifGwConfig::default()
@@ -381,6 +412,47 @@ mod tests {
             assert_eq!(a.best_cut, b.best_cut);
             assert_eq!(a.sdp_bound, b.sdp_bound);
         }
+    }
+
+    #[test]
+    fn cached_solves_are_bit_identical_to_cold_solves() {
+        let cache = SdpCache::new(8);
+        for seed in [0u64, 0xBEEF, 71] {
+            let g = gnp(16, 0.4, seed).unwrap();
+            for family in CircuitFamily::all() {
+                let mut s = spec(family);
+                s.seed = seed;
+                let cold = solve(&g, &s).unwrap();
+                let miss = solve_with_cache(&g, &s, Some(&cache)).unwrap();
+                let hit = solve_with_cache(&g, &s, Some(&cache)).unwrap();
+                for warm in [&miss, &hit] {
+                    assert_eq!(cold.trace, warm.trace, "{family:?} seed {seed}");
+                    assert_eq!(cold.best_value, warm.best_value);
+                    assert_eq!(cold.best_cut, warm.best_cut);
+                    assert_eq!(cold.sdp_bound, warm.sdp_bound, "bound must be bit-equal");
+                }
+            }
+        }
+        let stats = cache.stats();
+        // Only LIF-GW touches the cache: 3 seeds × (1 miss + 1 hit).
+        assert_eq!((stats.hits, stats.misses), (3, 3), "LIF-Trevisan bypasses");
+    }
+
+    #[test]
+    fn distinct_request_seeds_use_distinct_sdp_entries() {
+        // The cache key uses the *derived* SDP seed (slot 1), so two
+        // requests differing only in the master seed must not share a
+        // factor.
+        let cache = SdpCache::new(8);
+        let g = gnp(14, 0.5, 4).unwrap();
+        let mut a = spec(CircuitFamily::LifGw);
+        a.seed = 1;
+        let mut b = a.clone();
+        b.seed = 2;
+        solve_with_cache(&g, &a, Some(&cache)).unwrap();
+        solve_with_cache(&g, &b, Some(&cache)).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().entries, 2);
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Full-response caching for the serving layer.
+//!
+//! PR 4 pinned the wire contract: a solve response body is a pure,
+//! deterministic function of the parsed request — identical requests
+//! produce byte-identical bodies on any worker at any concurrency. That
+//! makes whole-response caching trivially sound: a stored body is
+//! *indistinguishable by construction* from a recomputed one, so the
+//! cache can change `/solve` latency but never its answers.
+//!
+//! [`ResponseCache`] is a bounded, sharded LRU keyed by the **full
+//! canonical request** ([`ResponseKey`]): circuit family, budget,
+//! replica width, seed, the graph label (it is echoed in the body), and
+//! the graph itself. The graph's [`GraphFingerprint`] routes a key to a
+//! shard and pre-filters lookups; a hit additionally requires full-key
+//! equality — a fingerprint collision degrades to a miss, never to a
+//! wrong body.
+//!
+//! The bound is in **bytes** (body + an estimate of the key's heap
+//! footprint), because response size varies with graph order and trace
+//! length. Each shard owns `total / shards` bytes behind its own
+//! `parking_lot` mutex; locks are held only for lookup/insert, never
+//! across a solve. A budget of `0` disables the cache: lookups miss,
+//! inserts are dropped, nothing panics.
+
+use parking_lot::Mutex;
+use snc_graph::{Graph, GraphFingerprint};
+use snc_maxcut::CircuitFamily;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Most shards a cache will spread its budget over.
+const MAX_SHARDS: usize = 8;
+/// Bytes per shard below which another shard stops paying; small test
+/// budgets collapse to a single shard so eviction order is exact.
+const MIN_BYTES_PER_SHARD: usize = 64 * 1024;
+/// Fixed per-entry bookkeeping charge (list node, counters, `Arc`).
+const ENTRY_OVERHEAD: usize = 128;
+
+/// The full canonical request — everything the response body depends
+/// on. Server-wide constants (SDP rank, LIF parameters) are fixed per
+/// process and deliberately excluded; the cache never outlives them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseKey {
+    family: CircuitFamily,
+    budget: u64,
+    replicas: usize,
+    seed: u64,
+    graph_label: String,
+    graph: Graph,
+    fingerprint: GraphFingerprint,
+}
+
+impl ResponseKey {
+    /// Builds the canonical key for a parsed solve job.
+    pub fn new(
+        family: CircuitFamily,
+        budget: u64,
+        replicas: usize,
+        seed: u64,
+        graph_label: String,
+        graph: Graph,
+    ) -> Self {
+        let fingerprint = graph.fingerprint();
+        Self {
+            family,
+            budget,
+            replicas,
+            seed,
+            graph_label,
+            graph,
+            fingerprint,
+        }
+    }
+
+    /// A 64-bit digest for shard routing and cheap pre-filtering (always
+    /// followed by a full equality check on hit).
+    fn digest(&self) -> u64 {
+        let mut d = self.fingerprint.fold();
+        for word in [
+            self.budget,
+            self.replicas as u64,
+            self.seed,
+            self.family as u64,
+            self.graph_label.len() as u64,
+        ] {
+            d = snc_graph::fingerprint::mix(d ^ word);
+        }
+        d
+    }
+
+    /// The bytes an entry with this key and a `body_len`-byte body is
+    /// charged against the cache budget: body + graph CSR footprint +
+    /// label + fixed overhead. Exposed so tests and benches can size
+    /// budgets that provably force (or provably avoid) eviction.
+    pub fn cost(&self, body_len: usize) -> usize {
+        let graph_bytes = 8 * (self.graph.n() + 1) + 4 * 2 * self.graph.m();
+        body_len + graph_bytes + self.graph_label.len() + ENTRY_OVERHEAD
+    }
+}
+
+/// Counters and gauges describing response-cache traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResponseCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a solve.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently charged against the budget.
+    pub bytes: u64,
+    /// Total byte budget across shards.
+    pub capacity_bytes: u64,
+}
+
+struct Entry {
+    digest: u64,
+    key: ResponseKey,
+    body: Arc<String>,
+    cost: usize,
+}
+
+/// One shard: LRU list (front = least recently used) plus its byte
+/// ledger.
+#[derive(Default)]
+struct Shard {
+    entries: VecDeque<Entry>,
+    used: usize,
+}
+
+/// A bounded, sharded, thread-safe LRU of byte-exact response bodies
+/// keyed by the full canonical request. See the module docs.
+pub struct ResponseCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_budget", &self.per_shard_budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ResponseCache {
+    /// Creates a cache with a total budget of `bytes`. `bytes == 0`
+    /// disables the cache: every lookup misses, inserts are dropped, and
+    /// nothing panics.
+    pub fn new(bytes: usize) -> Self {
+        let shards = if bytes == 0 {
+            0
+        } else {
+            (bytes / MIN_BYTES_PER_SHARD).clamp(1, MAX_SHARDS)
+        };
+        let per_shard_budget = bytes.checked_div(shards).unwrap_or(0);
+        Self {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache can retain anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.per_shard_budget > 0
+    }
+
+    /// A traffic snapshot (each counter read atomically; the snapshot is
+    /// exact once traffic quiesces).
+    pub fn stats(&self) -> ResponseCacheStats {
+        let (mut entries, mut bytes) = (0u64, 0u64);
+        for shard in &self.shards {
+            let shard = shard.lock();
+            entries += shard.entries.len() as u64;
+            bytes += shard.used as u64;
+        }
+        ResponseCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            capacity_bytes: (self.per_shard_budget * self.shards.len()) as u64,
+        }
+    }
+
+    fn shard_for(&self, digest: u64) -> &Mutex<Shard> {
+        &self.shards[(digest % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up the stored body for a request. Every call counts exactly
+    /// one hit or one miss, so `hits + misses` equals the number of
+    /// requests that consulted the cache.
+    pub fn get(&self, key: &ResponseKey) -> Option<Arc<String>> {
+        if self.is_enabled() {
+            let digest = key.digest();
+            let mut shard = self.shard_for(digest).lock();
+            if let Some(idx) = shard
+                .entries
+                .iter()
+                .position(|e| e.digest == digest && e.key == *key)
+            {
+                let entry = shard.entries.remove(idx).expect("index from position");
+                let body = Arc::clone(&entry.body);
+                shard.entries.push_back(entry);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(body);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a computed body. Entries too large for a shard's budget
+    /// are dropped (the response is still served — it is just never
+    /// cached); re-inserting a resident key is a no-op (bodies for equal
+    /// keys are byte-identical by the wire contract).
+    pub fn insert(&self, key: ResponseKey, body: String) {
+        let cost = key.cost(body.len());
+        if !self.is_enabled() || cost > self.per_shard_budget {
+            return;
+        }
+        let digest = key.digest();
+        let mut shard = self.shard_for(digest).lock();
+        if shard.entries.iter().any(|e| e.digest == digest && e.key == key) {
+            return;
+        }
+        while shard.used + cost > self.per_shard_budget {
+            let evicted = shard.entries.pop_front().expect("used > 0 implies entries");
+            shard.used -= evicted.cost;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.used += cost;
+        shard.entries.push_back(Entry {
+            digest,
+            key,
+            body: Arc::new(body),
+            cost,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snc_graph::generators::erdos_renyi::gnp;
+
+    fn key(graph_seed: u64, solve_seed: u64) -> ResponseKey {
+        ResponseKey::new(
+            CircuitFamily::LifGw,
+            64,
+            4,
+            solve_seed,
+            format!("gnp(seed={graph_seed})"),
+            gnp(12, 0.5, graph_seed).unwrap(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_and_counters() {
+        let cache = ResponseCache::new(1 << 20);
+        let k = key(1, 42);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), "body-1".to_string());
+        assert_eq!(cache.get(&k).as_deref().map(String::as_str), Some("body-1"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.bytes > 0 && stats.bytes <= stats.capacity_bytes);
+    }
+
+    #[test]
+    fn every_key_component_distinguishes() {
+        let cache = ResponseCache::new(1 << 20);
+        let base = key(1, 42);
+        cache.insert(base.clone(), "base".to_string());
+        let mut family = base.clone();
+        family.family = CircuitFamily::LifTrevisan;
+        let mut budget = base.clone();
+        budget.budget = 65;
+        let mut replicas = base.clone();
+        replicas.replicas = 5;
+        let mut seed = base.clone();
+        seed.seed = 43;
+        let mut label = base.clone();
+        label.graph_label = "other".to_string();
+        let graph = key(2, 42);
+        for (name, k) in [
+            ("family", &family),
+            ("budget", &budget),
+            ("replicas", &replicas),
+            ("seed", &seed),
+            ("label", &label),
+            ("graph", &graph),
+        ] {
+            assert!(cache.get(k).is_none(), "{name} must be part of the key");
+        }
+        assert!(cache.get(&base).is_some());
+    }
+
+    #[test]
+    fn digest_collisions_fall_back_to_full_comparison() {
+        // Force a collision by construction: two different keys, same
+        // digest (we route both to the same shard by making the cache
+        // single-shard, and fake a collision via a wrapper that checks
+        // the public behavior: a lookup with a different key never
+        // returns another key's body even when digests collide — here we
+        // simply verify the full-equality arm with equal-digest... the
+        // digest is private, so assert the observable contract instead:
+        // equal graphs with different labels share a fingerprint (the
+        // digest's dominant term) yet never cross-hit.
+        let cache = ResponseCache::new(1 << 20);
+        let g = gnp(10, 0.5, 9).unwrap();
+        let a = ResponseKey::new(CircuitFamily::LifGw, 8, 1, 0, "edges".into(), g.clone());
+        let b = ResponseKey::new(CircuitFamily::LifGw, 8, 1, 0, "edgelist".into(), g);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        cache.insert(a.clone(), "a-body".to_string());
+        assert!(cache.get(&b).is_none(), "same graph, different label: miss");
+        assert_eq!(cache.get(&a).as_deref().map(String::as_str), Some("a-body"));
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let k1 = key(1, 0);
+        let k2 = key(2, 0);
+        let k3 = key(3, 0);
+        let body = "x".repeat(256);
+        // Budget fits two entries but not three (single shard at this
+        // size), so the third insert evicts the least recently used.
+        let two = k1.cost(body.len()) + k2.cost(body.len());
+        let cache = ResponseCache::new(two + 64);
+        cache.insert(k1.clone(), body.clone());
+        cache.insert(k2.clone(), body.clone());
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(&k1).is_some(), "touch k1: k2 becomes LRU");
+        cache.insert(k3.clone(), body.clone());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= stats.capacity_bytes, "budget is a hard bound");
+        assert!(cache.get(&k2).is_none(), "k2 was the LRU victim");
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k3).is_some());
+    }
+
+    #[test]
+    fn zero_budget_disables_without_panicking() {
+        let cache = ResponseCache::new(0);
+        assert!(!cache.is_enabled());
+        let k = key(1, 1);
+        cache.insert(k.clone(), "body".to_string());
+        assert!(cache.get(&k).is_none());
+        assert!(cache.get(&k).is_none(), "still nothing after the insert");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries, stats.bytes, stats.capacity_bytes),
+            (0, 2, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn tiny_budgets_reject_oversized_entries_instead_of_panicking() {
+        // Capacity 1 byte: nothing fits (every entry costs at least the
+        // overhead), so inserts are dropped and lookups miss — the "0
+        // must disable, 1 must not panic" corner of the satellite task.
+        let cache = ResponseCache::new(1);
+        assert!(cache.is_enabled());
+        let k = key(1, 1);
+        cache.insert(k.clone(), "body".to_string());
+        assert!(cache.get(&k).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.bytes, stats.evictions), (0, 0, 0));
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_is_a_noop() {
+        let cache = ResponseCache::new(1 << 20);
+        let k = key(4, 4);
+        cache.insert(k.clone(), "first".to_string());
+        let bytes = cache.stats().bytes;
+        cache.insert(k.clone(), "first".to_string());
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().bytes, bytes, "no double charge");
+    }
+
+    #[test]
+    fn shard_count_scales_with_budget() {
+        // Tiny budgets collapse to one shard; big budgets spread to 8.
+        assert_eq!(ResponseCache::new(4 * 1024).shards.len(), 1);
+        assert_eq!(ResponseCache::new(128 * 1024).shards.len(), 2);
+        assert_eq!(ResponseCache::new(8 << 20).shards.len(), 8);
+        let cache = ResponseCache::new(8 << 20);
+        assert_eq!(cache.stats().capacity_bytes, 8 << 20);
+    }
+}

@@ -193,4 +193,48 @@ mod tests {
         assert_eq!(store.get(a), None, "eviction is final");
         assert!(store.get(b).is_some());
     }
+
+    #[test]
+    fn capacity_zero_clamps_to_one_and_never_panics() {
+        // The documented contract: capacity is clamped to ≥ 1 (the
+        // binary separately rejects `--store-capacity 0`), so a zero
+        // capacity must behave exactly like one — not panic on insert,
+        // not retain unboundedly.
+        let store = JobStore::new(0);
+        let a = store.insert();
+        assert_eq!(store.get(a), Some(JobStatus::Queued));
+        assert_eq!(store.len(), 1);
+        let b = store.insert();
+        assert_eq!(store.get(a), None, "the single slot was recycled");
+        assert_eq!(store.get(b), Some(JobStatus::Queued));
+        assert_eq!(store.len(), 1);
+        store.finish(b, Ok(Json::Null));
+        let c = store.insert();
+        assert_eq!(store.get(b), None, "finished record evicted first");
+        assert!(store.get(c).is_some());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn capacity_one_cycles_through_every_lifecycle_state() {
+        let store = JobStore::new(1);
+        // Evicting an unfinished sole record must work (fallback arm).
+        let a = store.insert();
+        store.set_running(a);
+        let b = store.insert();
+        assert_eq!(store.get(a), None, "running record was the only victim");
+        // Late transitions aimed at the evicted id must not resurrect it.
+        store.set_running(a);
+        store.finish(a, Err("late".into()));
+        assert_eq!(store.get(a), None);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(b), Some(JobStatus::Queued));
+        // Removal on the sole record empties the store; the next insert
+        // does not evict anything.
+        store.remove(b);
+        assert!(store.is_empty());
+        let c = store.insert();
+        assert_eq!(store.get(c), Some(JobStatus::Queued));
+        assert_eq!(store.len(), 1);
+    }
 }

@@ -41,15 +41,34 @@
 //! ```
 //!
 //! The request/response schema lives in [`wire`]; the HTTP subset in
-//! [`http`]; the async job records in [`jobs`]; acceptor/routing in
-//! [`server`].
+//! [`http`]; the async job records in [`jobs`]; the deterministic
+//! full-response cache in [`cache`]; acceptor/routing in [`server`].
+//!
+//! ## Caching
+//!
+//! Two deterministic caches sit on the solve path (both bounded, both
+//! disabled by passing `0`):
+//!
+//! * the per-graph [`snc_maxcut::SdpCache`] (`--sdp-cache-entries`)
+//!   memoizes the LIF-GW offline SDP factor/bound by
+//!   `(graph fingerprint, sdp seed, rank)`;
+//! * the [`cache::ResponseCache`] (`--response-cache-bytes`) stores
+//!   byte-exact response bodies keyed by the full canonical request and
+//!   short-circuits `/solve` and `/jobs`.
+//!
+//! Because responses are byte-identical for identical requests by the
+//! PR-4 wire contract, cached and computed responses are
+//! indistinguishable; hit/miss/eviction counters are reported on
+//! `GET /healthz`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod http;
 pub mod jobs;
 pub mod server;
 pub mod wire;
 
+pub use cache::{ResponseCache, ResponseCacheStats, ResponseKey};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -3,15 +3,29 @@
 //! ```text
 //! snc-server [--addr HOST:PORT] [--threads N] [--replicas N]
 //!            [--queue-depth N] [--store-capacity N]
+//!            [--sdp-cache-entries N] [--response-cache-bytes N]
 //! ```
 //!
 //! `--threads`, `--replicas`, `--queue-depth`, and `--store-capacity`
 //! must be ≥ 1 (0 is rejected with an error, matching the experiment
-//! binaries). `--addr` with port 0 binds an ephemeral port; the actual
-//! address is printed on startup.
+//! binaries). The cache flags accept 0, which *disables* the cache in
+//! question (`--sdp-cache-entries 0 --response-cache-bytes 0`
+//! reproduces the uncached PR-4 request path bit for bit). `--addr`
+//! with port 0 binds an ephemeral port; the actual address is printed
+//! on startup.
 
 use snc_experiments::config::parse_positive;
 use snc_server::{serve, ServerConfig};
+
+/// Parses a non-negative flag value (0 is legal — it means "disabled"
+/// for the cache flags, unlike the ≥ 1 knobs handled by
+/// [`parse_positive`]).
+fn parse_size(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    value
+        .ok_or(format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} must be a non-negative integer"))
+}
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig::default();
@@ -27,10 +41,17 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--store-capacity" => {
                 cfg.store_capacity = parse_positive(it.next(), "--store-capacity")?;
             }
+            "--sdp-cache-entries" => {
+                cfg.sdp_cache_entries = parse_size(it.next(), "--sdp-cache-entries")?;
+            }
+            "--response-cache-bytes" => {
+                cfg.response_cache_bytes = parse_size(it.next(), "--response-cache-bytes")?;
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}`\nusage: snc-server [--addr HOST:PORT] [--threads N] \
-                     [--replicas N] [--queue-depth N] [--store-capacity N]"
+                     [--replicas N] [--queue-depth N] [--store-capacity N] \
+                     [--sdp-cache-entries N] [--response-cache-bytes N]"
                 ));
             }
         }
@@ -74,9 +95,12 @@ mod tests {
     fn defaults_and_overrides() {
         let cfg = parse_args(&[]).unwrap();
         assert_eq!(cfg.addr, "127.0.0.1:7878");
+        assert_eq!(cfg.sdp_cache_entries, 128);
+        assert_eq!(cfg.response_cache_bytes, 4 << 20);
         let cfg = parse_args(&strs(&[
             "--addr", "0.0.0.0:9000", "--threads", "2", "--replicas", "8",
             "--queue-depth", "16", "--store-capacity", "32",
+            "--sdp-cache-entries", "7", "--response-cache-bytes", "65536",
         ]))
         .unwrap();
         assert_eq!(cfg.addr, "0.0.0.0:9000");
@@ -84,6 +108,8 @@ mod tests {
         assert_eq!(cfg.replicas, 8);
         assert_eq!(cfg.queue_depth, 16);
         assert_eq!(cfg.store_capacity, 32);
+        assert_eq!(cfg.sdp_cache_entries, 7);
+        assert_eq!(cfg.response_cache_bytes, 65536);
     }
 
     #[test]
@@ -94,5 +120,20 @@ mod tests {
         }
         assert!(parse_args(&strs(&["--bogus"])).is_err());
         assert!(parse_args(&strs(&["--addr"])).is_err());
+    }
+
+    #[test]
+    fn cache_flags_accept_zero_as_disabled() {
+        let cfg = parse_args(&strs(&[
+            "--sdp-cache-entries", "0", "--response-cache-bytes", "0",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.sdp_cache_entries, 0);
+        assert_eq!(cfg.response_cache_bytes, 0);
+        for flag in ["--sdp-cache-entries", "--response-cache-bytes"] {
+            assert!(parse_args(&strs(&[flag, "-1"])).is_err(), "{flag}");
+            assert!(parse_args(&strs(&[flag, "x"])).is_err(), "{flag}");
+            assert!(parse_args(&strs(&[flag])).is_err(), "{flag}");
+        }
     }
 }

@@ -7,31 +7,46 @@
 //! TcpListener ──accept──▶ connection thread (HTTP/1.1 keep-alive loop)
 //!      │                        │  parse + validate (wire.rs)
 //!      │                        ▼
-//!      │                bounded WorkerPool queue  ──503 when full
-//!      │                        │
-//!      │                        ▼
-//!      │                worker: snc_maxcut::solve(graph, spec)
-//!      │                        │  (BatchedLifGw / BatchedLifTrevisan
+//!      │                ResponseCache lookup (full canonical request)
+//!      │                        │ hit ──▶ stored byte-exact body ──┐
+//!      │                        │ miss                             │
+//!      │                        ▼                                  │
+//!      │                bounded WorkerPool queue  ──503 when full  │
+//!      │                        │                                  │
+//!      │                        ▼                                  │
+//!      │                worker: snc_maxcut::solve_with_cache       │
+//!      │                        │  (SdpCache: per-graph factor/bound
+//!      │                        │   memo for LIF-GW's offline stage;
+//!      │                        │   BatchedLifGw / BatchedLifTrevisan
 //!      │                        │   ReplicaBatch stepping, seeded ladder)
-//!      │                        ▼
-//!      └──────────◀── deterministic JSON body (+ x-snc-elapsed-us header)
+//!      │                        ▼                                  │
+//!      └──────────◀── deterministic JSON body ◀────────────────────┘
+//!                      (+ x-snc-elapsed-us header)
 //! ```
 //!
 //! Identical `(request, seed)` pairs produce byte-identical response
 //! bodies regardless of connection interleaving or worker assignment:
 //! the solve is a pure function of the parsed request, and rendering is
-//! deterministic. Timing travels only in a response header.
+//! deterministic. Timing travels only in a response header. That
+//! contract is what makes both caches sound: a cached SDP factor is
+//! bit-identical to a recomputed one (the SDP is deterministic in its
+//! seed), and a cached response body is byte-identical to a recomputed
+//! one — caching changes latency, never answers. Setting
+//! `--sdp-cache-entries 0 --response-cache-bytes 0` disables both and
+//! reproduces the uncached request path exactly.
 //!
 //! Shutdown is graceful: [`ServerHandle::shutdown`] stops the acceptor,
 //! lets every connection finish its in-flight request (idle keep-alive
 //! reads poll a flag on a short timeout), and drains the worker queue
 //! before joining.
 
+use crate::cache::{ResponseCache, ResponseKey};
 use crate::http::{self, HttpError, Request};
 use crate::jobs::{JobStatus, JobStore};
-use crate::wire::{self, RequestDefaults};
+use crate::wire::{self, RequestDefaults, SolveJob};
 use snc_experiments::json::Json;
 use snc_experiments::runner::WorkerPool;
+use snc_maxcut::SdpCache;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,6 +79,12 @@ pub struct ServerConfig {
     pub max_replicas: usize,
     /// Largest accepted request body in bytes.
     pub max_body_bytes: usize,
+    /// SDP factor/bound entries retained by the per-graph
+    /// [`SdpCache`] (`0` disables SDP caching).
+    pub sdp_cache_entries: usize,
+    /// Byte budget of the full-response [`ResponseCache`] (`0` disables
+    /// response caching).
+    pub response_cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +99,8 @@ impl Default for ServerConfig {
             max_vertices: 10_000,
             max_replicas: 1024,
             max_body_bytes: 1 << 20,
+            sdp_cache_entries: 128,
+            response_cache_bytes: 4 << 20,
         }
     }
 }
@@ -115,7 +138,29 @@ struct Shared {
     defaults: RequestDefaults,
     pool: WorkerPool<'static>,
     store: Arc<JobStore>,
+    /// Per-graph SDP factor/bound memo, consulted inside worker solves
+    /// (`None` when `sdp_cache_entries == 0`). Its own `Arc` for the
+    /// same reason as `store`: job closures must never own the pool.
+    sdp_cache: Option<Arc<SdpCache>>,
+    /// Byte-exact full-response cache (`None` when
+    /// `response_cache_bytes == 0`).
+    response_cache: Option<Arc<ResponseCache>>,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// The canonical cache key for a parsed solve job (the full
+    /// request: family, budget, replicas, seed, graph label, graph).
+    fn response_key(&self, job: &SolveJob) -> ResponseKey {
+        ResponseKey::new(
+            job.spec.family,
+            job.spec.budget,
+            job.spec.replicas,
+            job.spec.seed,
+            job.graph_label.clone(),
+            job.graph.clone(),
+        )
+    }
 }
 
 /// A running server. Dropping the handle shuts the server down
@@ -149,6 +194,10 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         defaults: cfg.request_defaults(),
         pool: WorkerPool::bounded(cfg.threads, cfg.queue_depth),
         store: Arc::new(JobStore::new(cfg.store_capacity)),
+        sdp_cache: (cfg.sdp_cache_entries > 0)
+            .then(|| Arc::new(SdpCache::new(cfg.sdp_cache_entries))),
+        response_cache: (cfg.response_cache_bytes > 0)
+            .then(|| Arc::new(ResponseCache::new(cfg.response_cache_bytes))),
         shutdown: AtomicBool::new(false),
         cfg,
     });
@@ -231,6 +280,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 /// The per-connection HTTP/1.1 keep-alive loop.
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // Responses are written in one buffered burst; without NODELAY the
+    // final partial segment sits in Nagle's queue waiting for the
+    // client's delayed ACK (~40 ms), which would swamp the
+    // microsecond-scale cache-hit path entirely.
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -309,6 +363,35 @@ fn index_body() -> String {
 }
 
 fn healthz(shared: &Arc<Shared>) -> String {
+    let sdp_cache = match &shared.sdp_cache {
+        None => Json::Obj(vec![("enabled".into(), Json::Bool(false))]),
+        Some(cache) => {
+            let stats = cache.stats();
+            Json::Obj(vec![
+                ("enabled".into(), Json::Bool(true)),
+                ("capacity".into(), Json::UInt(cache.capacity() as u64)),
+                ("entries".into(), Json::UInt(stats.entries)),
+                ("hits".into(), Json::UInt(stats.hits)),
+                ("misses".into(), Json::UInt(stats.misses)),
+                ("evictions".into(), Json::UInt(stats.evictions)),
+            ])
+        }
+    };
+    let response_cache = match &shared.response_cache {
+        None => Json::Obj(vec![("enabled".into(), Json::Bool(false))]),
+        Some(cache) => {
+            let stats = cache.stats();
+            Json::Obj(vec![
+                ("enabled".into(), Json::Bool(true)),
+                ("capacity_bytes".into(), Json::UInt(stats.capacity_bytes)),
+                ("bytes".into(), Json::UInt(stats.bytes)),
+                ("entries".into(), Json::UInt(stats.entries)),
+                ("hits".into(), Json::UInt(stats.hits)),
+                ("misses".into(), Json::UInt(stats.misses)),
+                ("evictions".into(), Json::UInt(stats.evictions)),
+            ])
+        }
+    };
     Json::Obj(vec![
         ("status".into(), Json::str("ok")),
         ("threads".into(), Json::UInt(shared.pool.threads() as u64)),
@@ -321,6 +404,8 @@ fn healthz(shared: &Arc<Shared>) -> String {
             Json::UInt(shared.cfg.queue_depth as u64),
         ),
         ("jobs_stored".into(), Json::UInt(shared.store.len() as u64)),
+        ("sdp_cache".into(), sdp_cache),
+        ("response_cache".into(), response_cache),
     ])
     .render()
 }
@@ -331,9 +416,10 @@ fn healthz(shared: &Arc<Shared>) -> String {
 fn guarded_solve(
     graph: &snc_graph::Graph,
     spec: &snc_maxcut::SolveSpec,
+    sdp_cache: Option<&SdpCache>,
 ) -> Result<snc_maxcut::SolveOutcome, (u16, String)> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        snc_maxcut::solve(graph, spec)
+        snc_maxcut::solve_with_cache(graph, spec, sdp_cache)
     })) {
         // Parse-time validation already rejected every client-side cause
         // of SolveError (zero budget, empty graph), so what reaches here
@@ -344,19 +430,36 @@ fn guarded_solve(
     }
 }
 
-/// `POST /solve`: parse, schedule on the pool, await, answer.
+/// `POST /solve`: parse, consult the response cache, schedule on the
+/// pool on a miss, await, store, answer. A cache hit never touches the
+/// worker pool: the stored body is byte-exact by the wire contract.
 fn solve_sync(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
     let job = wire::parse_solve_request(body, &shared.defaults)
         .map_err(|e| HttpError::new(400, e.0))?;
+    let key = shared.response_cache.as_ref().map(|cache| {
+        let key = shared.response_key(&job);
+        (Arc::clone(cache), key)
+    });
+    if let Some((cache, key)) = &key {
+        if let Some(cached) = cache.get(key) {
+            return Ok((200, String::clone(&cached)));
+        }
+    }
+    let sdp_cache = shared.sdp_cache.clone();
     let ticket = shared
         .pool
         .try_submit(move || {
-            guarded_solve(&job.graph, &job.spec)
+            guarded_solve(&job.graph, &job.spec, sdp_cache.as_deref())
                 .map(|outcome| wire::solve_response(&job, &outcome).render())
         })
         .map_err(|_| HttpError::new(503, "solver queue is full, retry later"))?;
     match ticket.wait() {
-        Ok(body) => Ok((200, body)),
+        Ok(body) => {
+            if let Some((cache, key)) = key {
+                cache.insert(key, body.clone());
+            }
+            Ok((200, body))
+        }
         Err((status, message)) => Err(HttpError::new(status, message)),
     }
 }
@@ -366,17 +469,47 @@ fn solve_sync(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
 fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
     let job = wire::parse_solve_request(body, &shared.defaults)
         .map_err(|e| HttpError::new(400, e.0))?;
+    let key = shared.response_cache.as_ref().map(|cache| {
+        let key = shared.response_key(&job);
+        (Arc::clone(cache), key)
+    });
+    // Response-cache hit: the job is born finished — the stored body is
+    // the byte-exact render of the result tree, so parsing it back
+    // recovers exactly what the worker would have stored. No pool
+    // round-trip, and the poller sees `done` immediately.
+    if let Some((cache, key)) = &key {
+        if let Some(cached) = cache.get(key) {
+            let id = shared.store.insert();
+            let result = snc_experiments::json::parse(&cached)
+                .map_err(|e| format!("internal error: cached body unparsable: {e}"));
+            shared.store.finish(id, result);
+            let status = shared.store.get(id).map_or("done", |s| s.name());
+            return Ok((
+                202,
+                Json::Obj(vec![
+                    ("id".into(), Json::UInt(id)),
+                    ("status".into(), Json::str(status)),
+                ])
+                .render(),
+            ));
+        }
+    }
     let id = shared.store.insert();
-    // The closure captures the store only — never `Arc<Shared>`, which
-    // owns the pool the closure runs on (see the `Shared` docs).
+    // The closure captures the store and caches only — never
+    // `Arc<Shared>`, which owns the pool the closure runs on (see the
+    // `Shared` docs).
     let store = Arc::clone(&shared.store);
+    let sdp_cache = shared.sdp_cache.clone();
     let submitted = shared.pool.try_submit(move || {
         store.set_running(id);
         // guarded_solve contains panics, so the record always reaches a
         // terminal state — a poller can never see `running` forever.
-        let result = guarded_solve(&job.graph, &job.spec)
+        let result = guarded_solve(&job.graph, &job.spec, sdp_cache.as_deref())
             .map(|outcome| wire::solve_response(&job, &outcome))
             .map_err(|(_, message)| message);
+        if let (Some((cache, key)), Ok(tree)) = (key, &result) {
+            cache.insert(key, tree.render());
+        }
         store.finish(id, result);
     });
     if submitted.is_err() {

@@ -525,6 +525,21 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_keys_resolve_to_the_first_occurrence() {
+        // The JSON layer keeps duplicate members and `get` returns the
+        // first; the wire layer therefore solves with the first value.
+        // Locked here because the response cache keys on the *parsed*
+        // request: two bodies differing only in a shadowed duplicate
+        // parse to the same job, share a cache entry, and get the same
+        // (correct) body.
+        let body =
+            br#"{"graph": "road-chesapeake", "budget": 8, "budget": 16, "seed": 1, "seed": 2}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!(job.spec.budget, 8, "first `budget` wins");
+        assert_eq!(job.spec.seed, 1, "first `seed` wins");
+    }
+
+    #[test]
     fn response_rendering_is_deterministic_and_consistent() {
         let body = br#"{"graph": {"gnp": {"n": 12, "p": 0.5, "seed": 1}}, "budget": 16, "seed": 5}"#;
         let job = parse_solve_request(body, &defaults()).unwrap();

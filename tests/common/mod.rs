@@ -1,0 +1,29 @@
+//! Shared helpers for the TCP integration tests (`server_smoke`,
+//! `cache_equivalence`, `server_cache_stress`): one hand-rolled
+//! `std::net` HTTP client so the wire framing lives in a single place.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One HTTP/1.1 round-trip: connect, send a request with
+/// `Connection: close`, read to EOF, split into `(status, body)`.
+pub fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: snc\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let status: u16 = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line in {response:?}"));
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
