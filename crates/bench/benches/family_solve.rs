@@ -1,0 +1,63 @@
+//! Family-dispatch bench: `solve()` throughput per circuit family.
+//!
+//! One group, four bars: the paper's two circuits (LIF-GW, LIF-TR) and
+//! the PR-6 companions (LIF-annealed, Hopfield), all through the public
+//! [`snc_maxcut::solve`] entry point on the smallest Figure-4 instance
+//! (road-chesapeake, n = 39) at R = 8 replicas. This is the end-to-end
+//! cost a `/solve` request pays past the wire layer, so the relative
+//! bars show what each family adds on top of shared sampling
+//! infrastructure: the SDP solve (GW and annealed), the cooling-schedule
+//! bookkeeping (annealed), and the deterministic relaxation sweeps
+//! (Hopfield).
+//!
+//! Before timing, a correctness gate re-solves every family and asserts
+//! bit-identical outcomes, so a determinism regression fails the CI
+//! smoke run loudly rather than producing fast wrong numbers.
+//!
+//! Record results per `docs/BENCHMARKS.md`; set `CRITERION_SHIM_JSON` to
+//! capture raw numbers.
+
+use bench::{fig4_smallest, BENCH_SAMPLES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use snc_maxcut::{solve, CircuitFamily, SolveSpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn family_spec(family: CircuitFamily) -> SolveSpec {
+    SolveSpec {
+        replicas: 8,
+        ..SolveSpec::new(family, BENCH_SAMPLES, 0xF164)
+    }
+}
+
+fn solve_per_family(c: &mut Criterion) {
+    let graph = fig4_smallest();
+
+    // Loud correctness gate: every family is bit-for-bit deterministic.
+    for family in CircuitFamily::all() {
+        let spec = family_spec(family);
+        let a = solve(&graph, &spec).expect("solve");
+        let b = solve(&graph, &spec).expect("solve");
+        assert_eq!(a.best_value, b.best_value, "{family:?} nondeterministic");
+        assert_eq!(a.trace.best, b.trace.best, "{family:?} trace diverged");
+    }
+
+    let mut group = c.benchmark_group("solve_families_n39_R8");
+    for family in CircuitFamily::all() {
+        let spec = family_spec(family);
+        group.bench_function(family.name(), |b| {
+            b.iter(|| solve(black_box(&graph), black_box(&spec)).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = solve_per_family
+}
+criterion_main!(benches);

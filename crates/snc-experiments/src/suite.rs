@@ -247,12 +247,10 @@ mod tests {
             (CircuitFamily::LifTrevisan, &traces.lif_tr),
         ] {
             let spec = SolveSpec {
-                family,
-                budget: cfg.sample_budget,
                 replicas: cfg.replicas,
-                seed: 21,
                 sdp_rank: cfg.sdp_rank,
                 lif: cfg.lif,
+                ..SolveSpec::new(family, cfg.sample_budget, 21)
             };
             let out = snc_maxcut::solve(&g, &spec).unwrap();
             assert_eq!(&out.trace, expected, "{family:?}");

@@ -191,6 +191,194 @@ pub fn parallel_tempering(graph: &Graph, cfg: &TemperingConfig) -> (CutAssignmen
     (best, best_value as u64)
 }
 
+/// The functional form of a [`CoolingSchedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// `σ(t) = start · (end/start)^(t/(len−1))` — the geometric cooling
+    /// the annealers above use for their temperature ladder.
+    Geometric,
+    /// `σ(t) = start + (end − start) · t/(len−1)` — linear interpolation.
+    Linear,
+}
+
+impl ScheduleKind {
+    /// The wire/CLI name of the kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleKind::Geometric => "geometric",
+            ScheduleKind::Linear => "linear",
+        }
+    }
+
+    /// Parses a wire/CLI name (`"geometric"` / `"linear"`).
+    pub fn from_name(name: &str) -> Option<ScheduleKind> {
+        [ScheduleKind::Geometric, ScheduleKind::Linear]
+            .into_iter()
+            .find(|k| k.name() == name)
+    }
+}
+
+/// A rejected [`CoolingSchedule`] construction, with the reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleError(pub String);
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A validated, monotone non-increasing cooling schedule `σ(t)` for the
+/// annealed-noise circuit family: the same geometric law the Metropolis
+/// annealers above cool their temperature with, plus a linear variant,
+/// packaged as a reusable value the solve dispatch and the wire format
+/// share.
+///
+/// Invariants enforced at construction: `start` and `end` are finite,
+/// `start ≥ end`, both are `> 0` for geometric (the ratio is undefined
+/// otherwise) and `≥ 0` for linear. [`CoolingSchedule::values`] is
+/// therefore always monotone non-increasing with **exact** endpoints
+/// (`values(len)[0] == start`, `values(len)[len-1] == end`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoolingSchedule {
+    kind: ScheduleKind,
+    start: f64,
+    end: f64,
+}
+
+impl Default for CoolingSchedule {
+    /// The workspace default for the annealed circuit: geometric cooling
+    /// from 1.0 to 0.05 (relative noise units).
+    fn default() -> Self {
+        Self {
+            kind: ScheduleKind::Geometric,
+            start: 1.0,
+            end: 0.05,
+        }
+    }
+}
+
+impl CoolingSchedule {
+    /// Builds a validated schedule.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite values, `start < end` (heating is not a
+    /// cooling schedule), non-positive geometric endpoints, and negative
+    /// linear endpoints.
+    pub fn new(kind: ScheduleKind, start: f64, end: f64) -> Result<Self, ScheduleError> {
+        if !start.is_finite() || !end.is_finite() {
+            return Err(ScheduleError(format!(
+                "schedule endpoints must be finite (got start={start}, end={end})"
+            )));
+        }
+        if start < end {
+            return Err(ScheduleError(format!(
+                "schedule must cool: start {start} < end {end}"
+            )));
+        }
+        match kind {
+            ScheduleKind::Geometric if start <= 0.0 || end <= 0.0 => {
+                return Err(ScheduleError(format!(
+                    "geometric schedule endpoints must be > 0 (got start={start}, end={end})"
+                )))
+            }
+            ScheduleKind::Linear if end < 0.0 => {
+                return Err(ScheduleError(format!(
+                    "linear schedule endpoints must be ≥ 0 (got end={end})"
+                )))
+            }
+            _ => {}
+        }
+        Ok(Self { kind, start, end })
+    }
+
+    /// A geometric schedule (`start`, `end` both > 0).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CoolingSchedule::new`].
+    pub fn geometric(start: f64, end: f64) -> Result<Self, ScheduleError> {
+        Self::new(ScheduleKind::Geometric, start, end)
+    }
+
+    /// A linear schedule.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CoolingSchedule::new`].
+    pub fn linear(start: f64, end: f64) -> Result<Self, ScheduleError> {
+        Self::new(ScheduleKind::Linear, start, end)
+    }
+
+    /// The constant schedule at `level` — the degenerate schedule under
+    /// which the annealed circuit reproduces LIF-GW sampling bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or (for geometric semantics) non-positive
+    /// levels.
+    pub fn constant(level: f64) -> Result<Self, ScheduleError> {
+        Self::new(ScheduleKind::Geometric, level, level)
+    }
+
+    /// The functional form.
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+
+    /// σ at `t = 0`.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// σ at `t = len − 1`.
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+
+    /// Whether the schedule never actually cools (`start == end`).
+    pub fn is_constant(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// σ at step `t` of a `len`-step schedule. Endpoints are exact by
+    /// construction: `at(0, len) == start` and `at(len−1, len) == end`
+    /// bit for bit (no `powf` round-off at the boundaries). A
+    /// single-step schedule sits at `start`; `t` beyond the horizon
+    /// clamps to `end`.
+    pub fn at(&self, t: u64, len: u64) -> f64 {
+        if len <= 1 || t == 0 || self.is_constant() {
+            return self.start;
+        }
+        if t >= len - 1 {
+            return self.end;
+        }
+        let frac = t as f64 / (len - 1) as f64;
+        match self.kind {
+            ScheduleKind::Geometric => self.start * (self.end / self.start).powf(frac),
+            ScheduleKind::Linear => self.start + (self.end - self.start) * frac,
+        }
+    }
+
+    /// The full `len`-value schedule `[σ(0), …, σ(len−1)]` — one value
+    /// per sample, so `values(budget).len() == budget`. Monotone
+    /// non-increasing by construction: each value is clamped to its
+    /// predecessor, which squashes any last-ulp `powf` round-off without
+    /// moving the exact endpoints (the true sequence already descends).
+    pub fn values(&self, len: u64) -> Vec<f64> {
+        let mut floor = f64::INFINITY;
+        (0..len)
+            .map(|t| {
+                floor = floor.min(self.at(t, len));
+                floor
+            })
+            .collect()
+    }
+}
+
 /// Best of `restarts` independent annealing runs with derived seeds.
 pub fn multistart_annealing(
     graph: &Graph,
@@ -325,5 +513,97 @@ mod tests {
         let b = parallel_tempering(&g, &TemperingConfig::default());
         assert_eq!(a.1, b.1);
         assert_eq!(a.0, b.0);
+    }
+
+    // ------------------------------------------------------------------
+    // CoolingSchedule (the annealed-circuit σ law)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn schedule_kinds_roundtrip_names() {
+        for kind in [ScheduleKind::Geometric, ScheduleKind::Linear] {
+            assert_eq!(ScheduleKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ScheduleKind::from_name("exponential"), None);
+    }
+
+    #[test]
+    fn schedule_endpoints_are_exact_bit_for_bit() {
+        for schedule in [
+            CoolingSchedule::geometric(1.7, 0.003).unwrap(),
+            CoolingSchedule::linear(2.5, 0.25).unwrap(),
+        ] {
+            for len in [2u64, 3, 7, 64, 1000] {
+                let v = schedule.values(len);
+                assert_eq!(v.len() as u64, len);
+                assert_eq!(v[0].to_bits(), schedule.start().to_bits(), "len={len}");
+                assert_eq!(
+                    v[len as usize - 1].to_bits(),
+                    schedule.end().to_bits(),
+                    "len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_monotone_non_increasing() {
+        for schedule in [
+            CoolingSchedule::geometric(1.0, 0.01).unwrap(),
+            CoolingSchedule::linear(3.0, 0.0).unwrap(),
+            CoolingSchedule::constant(0.5).unwrap(),
+        ] {
+            for len in [1u64, 2, 17, 256] {
+                let v = schedule.values(len);
+                assert!(
+                    v.windows(2).all(|w| w[0] >= w[1]),
+                    "{schedule:?} len={len}: {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_length_equals_budget() {
+        let s = CoolingSchedule::default();
+        for budget in [0u64, 1, 2, 100] {
+            assert_eq!(s.values(budget).len() as u64, budget);
+        }
+        // One-step schedules sit at the start level (nothing to cool
+        // across), and out-of-horizon queries clamp to the end level.
+        assert_eq!(s.values(1), vec![s.start()]);
+        assert_eq!(s.at(99, 10), s.end());
+    }
+
+    #[test]
+    fn constant_schedule_never_cools() {
+        let s = CoolingSchedule::constant(0.75).unwrap();
+        assert!(s.is_constant());
+        assert!(s.values(64).iter().all(|&v| v == 0.75));
+        assert!(!CoolingSchedule::default().is_constant());
+    }
+
+    #[test]
+    fn geometric_midpoint_is_the_geometric_mean() {
+        // σ(mid) of a 3-point geometric schedule is √(start·end).
+        let s = CoolingSchedule::geometric(4.0, 1.0).unwrap();
+        let v = s.values(3);
+        assert!((v[1] - 2.0).abs() < 1e-12, "{v:?}");
+        let lin = CoolingSchedule::linear(4.0, 1.0).unwrap().values(3);
+        assert!((lin[1] - 2.5).abs() < 1e-12, "{lin:?}");
+    }
+
+    #[test]
+    fn schedule_rejects_degenerate_endpoints() {
+        assert!(CoolingSchedule::geometric(f64::NAN, 0.1).is_err());
+        assert!(CoolingSchedule::linear(1.0, f64::INFINITY).is_err());
+        assert!(CoolingSchedule::geometric(0.1, 1.0).is_err(), "heating");
+        assert!(CoolingSchedule::geometric(1.0, 0.0).is_err(), "zero ratio");
+        assert!(CoolingSchedule::geometric(0.0, 0.0).is_err());
+        assert!(CoolingSchedule::linear(1.0, -0.5).is_err(), "negative σ");
+        assert!(CoolingSchedule::constant(-1.0).is_err());
+        assert!(CoolingSchedule::linear(1.0, 0.0).is_ok(), "linear to zero is fine");
+        let e = CoolingSchedule::geometric(0.5, 1.5).unwrap_err();
+        assert!(e.to_string().contains("must cool"), "{e}");
     }
 }

@@ -1,8 +1,8 @@
-//! The paper's neuromorphic circuits (§IV).
+//! The paper's neuromorphic circuits (§IV) plus two companion families.
 //!
-//! Both circuits share the motif of a stochastic device pool driving a LIF
-//! population; they differ in where the weights come from and how a cut is
-//! read out:
+//! The paper's two circuits share the motif of a stochastic device pool
+//! driving a LIF population; they differ in where the weights come from and
+//! how a cut is read out:
 //!
 //! | | LIF-GW (Fig. 1) | LIF-Trevisan (Fig. 2) |
 //! |---|---|---|
@@ -15,6 +15,21 @@
 //! needs few devices and delivers superb solutions immediately but requires
 //! an offline SDP; LIF-TR needs `n` devices and many samples but solves the
 //! problem *entirely within the circuit*.
+//!
+//! Two further families complete the comparison surface:
+//!
+//! | | LIF-annealed ([`lif_annealed`]) | Hopfield ([`hopfield`]) |
+//! |---|---|---|
+//! | substrate | the LIF-GW circuit, unchanged | continuous Hopfield–Tank units |
+//! | randomness | device pool (σ-scheduled readout) | seeded initial state only |
+//! | offline work | solve the SDP | none |
+//! | readout | sign of `σ(t)·z + (σ(0)−σ(t))·gain·h` | sign of the activations |
+//!
+//! LIF-annealed cools the stochastic exploration into deterministic local
+//! refinement over the sample budget; Hopfield is the deterministic
+//! analog-descent baseline (restarts instead of noise).
 
+pub mod hopfield;
+pub mod lif_annealed;
 pub mod lif_gw;
 pub mod lif_trevisan;

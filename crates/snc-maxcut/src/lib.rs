@@ -9,7 +9,10 @@
 //! * [`trevisan`] — the Trevisan "simple spectral" algorithm: minimum
 //!   eigenvector of `I + D^{-1/2} A D^{-1/2}`, sign-thresholded (§II.B).
 //! * [`circuits`] — **LIF-GW** (Fig. 1) and **LIF-Trevisan** (Fig. 2), the
-//!   neuromorphic circuits (blue ● and orange ■ curves).
+//!   neuromorphic circuits (blue ● and orange ■ curves), plus two
+//!   companion families: **LIF-annealed** (the LIF-GW substrate under a σ
+//!   cooling schedule) and **Hopfield** (deterministic continuous
+//!   relaxation, the classical analog baseline).
 //! * [`exact`] — Gray-code brute force and branch-and-bound, for ground
 //!   truth on small instances.
 //! * [`anneal`] — simulated annealing, the software version of the
@@ -47,7 +50,12 @@ pub mod stats;
 pub mod trevisan;
 pub mod weighted;
 
+pub use anneal::{CoolingSchedule, ScheduleError, ScheduleKind};
 pub use cache::{CacheStats, SdpCache};
+pub use circuits::hopfield::{BatchedHopfieldCircuit, HopfieldCircuit, HopfieldConfig};
+pub use circuits::lif_annealed::{
+    BatchedLifAnnealedCircuit, LifAnnealedCircuit, LifAnnealedConfig,
+};
 pub use circuits::lif_gw::{BatchedLifGwCircuit, LifGwCircuit, LifGwConfig};
 pub use circuits::lif_trevisan::{BatchedLifTrevisanCircuit, LifTrevisanCircuit, LifTrevisanConfig};
 pub use gw::{solve_gw, GwConfig, GwSampler, GwSolution};
@@ -55,5 +63,9 @@ pub use random::RandomCutSampler;
 pub use sampling::{
     log2_checkpoints, merge_traces, parallel_best_traces, sample_best_trace, BestTrace, CutSampler,
 };
-pub use solve::{solve, solve_with_cache, CircuitFamily, SolveError, SolveOutcome, SolveSpec};
+pub use solve::{
+    solve, solve_weighted, solve_with_cache, CircuitFamily, SolveError, SolveOutcome, SolveSpec,
+    WeightedSolveOutcome,
+};
 pub use trevisan::{solve_trevisan, SpectralRounding, TrevisanConfig, TrevisanSolution};
+pub use weighted::WeightedBestTrace;

@@ -20,18 +20,23 @@
 //! with identical inputs return identical outcomes, on any thread, at
 //! any concurrency.
 
+use crate::anneal::CoolingSchedule;
 use crate::cache::SdpCache;
+use crate::circuits::hopfield::{BatchedHopfieldCircuit, HopfieldConfig};
+use crate::circuits::lif_annealed::{BatchedLifAnnealedCircuit, LifAnnealedConfig};
 use crate::circuits::lif_gw::{BatchedLifGwCircuit, LifGwConfig};
 use crate::circuits::lif_trevisan::{BatchedLifTrevisanCircuit, LifTrevisanConfig};
 use crate::gw::{solve_gw, GwConfig, GwSolution};
-use crate::sampling::{log2_checkpoints, BestTrace};
+use crate::sampling::{log2_checkpoints, BestTrace, CutSampler};
+use crate::weighted::{solve_gw_weighted, WeightedBestTrace, WeightedLifTrevisanCircuit};
 use snc_devices::SplitMix64;
-use snc_graph::{CutAssignment, CutTracker, Graph};
+use snc_graph::{CutAssignment, CutTracker, Graph, WeightedCutTracker, WeightedGraph};
 use snc_linalg::{LinalgError, SdpConfig};
 use snc_neuro::{LifParams, TwoStageConfig};
 use std::sync::Arc;
 
-/// The two neuromorphic circuit families a request can name (§IV).
+/// The circuit families a request can name: the paper's two circuits
+/// (§IV) plus the annealed-noise and Hopfield companions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CircuitFamily {
     /// LIF-GW: SDP factors programmed into synapses, Gaussian sampling
@@ -40,12 +45,24 @@ pub enum CircuitFamily {
     /// LIF-Trevisan: fully online spectral circuit with a plastic
     /// readout (Fig. 2).
     LifTrevisan,
+    /// Annealed LIF-GW: the same substrate with a σ cooling schedule on
+    /// the readout — Gaussian exploration early, deterministic local
+    /// refinement late.
+    LifAnnealed,
+    /// Hopfield–Tank: deterministic continuous relaxation with
+    /// sign-threshold readout; replicas are seeded restarts.
+    Hopfield,
 }
 
 impl CircuitFamily {
-    /// Both families, LIF-GW first.
-    pub fn all() -> [CircuitFamily; 2] {
-        [CircuitFamily::LifGw, CircuitFamily::LifTrevisan]
+    /// Every family, the paper's two first.
+    pub fn all() -> [CircuitFamily; 4] {
+        [
+            CircuitFamily::LifGw,
+            CircuitFamily::LifTrevisan,
+            CircuitFamily::LifAnnealed,
+            CircuitFamily::Hopfield,
+        ]
     }
 
     /// The wire/CLI name of the family.
@@ -53,12 +70,21 @@ impl CircuitFamily {
         match self {
             CircuitFamily::LifGw => "lif-gw",
             CircuitFamily::LifTrevisan => "lif-trevisan",
+            CircuitFamily::LifAnnealed => "lif-annealed",
+            CircuitFamily::Hopfield => "hopfield",
         }
     }
 
-    /// Parses a wire/CLI name (`"lif-gw"` / `"lif-trevisan"`).
+    /// Parses a wire/CLI name (`"lif-gw"`, `"lif-trevisan"`,
+    /// `"lif-annealed"`, `"hopfield"`).
     pub fn from_name(name: &str) -> Option<CircuitFamily> {
         CircuitFamily::all().into_iter().find(|f| f.name() == name)
+    }
+
+    /// Whether the family runs an offline SDP stage (and therefore
+    /// reports an SDP upper bound).
+    pub fn uses_sdp(&self) -> bool {
+        matches!(self, CircuitFamily::LifGw | CircuitFamily::LifAnnealed)
     }
 }
 
@@ -79,11 +105,18 @@ pub struct SolveSpec {
     pub sdp_rank: usize,
     /// Membrane parameters for the circuit's LIF population.
     pub lif: LifParams,
+    /// σ cooling schedule over each replica's sample horizon
+    /// ([`CircuitFamily::LifAnnealed`] only; ignored elsewhere).
+    pub schedule: CoolingSchedule,
+    /// Euler steps per sample ([`CircuitFamily::Hopfield`] only;
+    /// ignored elsewhere; clamped to ≥ 1).
+    pub hopfield_steps: u64,
 }
 
 impl SolveSpec {
-    /// A spec with the workspace defaults: one replica, SDP rank 4, and
-    /// default LIF parameters.
+    /// A spec with the workspace defaults: one replica, SDP rank 4,
+    /// default LIF parameters, the default geometric cooling schedule,
+    /// and 8 Euler steps per Hopfield sample.
     pub fn new(family: CircuitFamily, budget: u64, seed: u64) -> Self {
         Self {
             family,
@@ -92,6 +125,8 @@ impl SolveSpec {
             seed,
             sdp_rank: 4,
             lif: LifParams::default(),
+            schedule: CoolingSchedule::default(),
+            hopfield_steps: 8,
         }
     }
 }
@@ -127,8 +162,12 @@ pub enum SolveError {
     /// The graph has no vertices; the circuits have no population to
     /// build.
     EmptyGraph,
-    /// The offline SDP stage failed (LIF-GW only).
+    /// The offline SDP stage failed (SDP-backed families only).
     Sdp(LinalgError),
+    /// The requested family cannot run on a graph with negative edge
+    /// weights (the LIF-Trevisan operator requires non-negative
+    /// weights).
+    NegativeWeights,
 }
 
 impl std::fmt::Display for SolveError {
@@ -137,6 +176,9 @@ impl std::fmt::Display for SolveError {
             SolveError::EmptyBudget => f.write_str("sample budget must be ≥ 1"),
             SolveError::EmptyGraph => f.write_str("graph must have at least one vertex"),
             SolveError::Sdp(e) => write!(f, "SDP stage failed: {e}"),
+            SolveError::NegativeWeights => {
+                f.write_str("lif-trevisan requires non-negative edge weights")
+            }
         }
     }
 }
@@ -184,8 +226,10 @@ pub fn replica_checkpoints(budget: u64, replicas: usize) -> Vec<u64> {
 ///
 /// Seed ladder (shared with `snc_experiments::suite::run_suite`, so a
 /// request with the harness's per-graph seed reproduces the harness's
-/// circuit trace): slot 1 seeds the SDP, slot 3 roots the LIF-GW replica
-/// ladder, slot 4 roots the LIF-Trevisan replica ladder.
+/// circuit trace): slot 1 seeds the SDP (LIF-GW *and* LIF-annealed —
+/// both program the same factors), slot 3 roots the LIF-GW replica
+/// ladder, slot 4 LIF-Trevisan's, slot 6 LIF-annealed's, and slot 7
+/// Hopfield's.
 ///
 /// # Errors
 ///
@@ -258,6 +302,159 @@ pub fn solve_with_cache(
             let seeds = replica_seeds(SplitMix64::derive(spec.seed, 4), replicas);
             let mut batch = BatchedLifTrevisanCircuit::new(graph, &seeds, &cfg);
             let driven = drive(graph, &checkpoints, replicas, || batch.next_cuts());
+            Ok(driven.into_outcome(replicas, None))
+        }
+        CircuitFamily::LifAnnealed => {
+            // Same slot-1 SDP seed as LIF-GW (identical factors for an
+            // identical master seed) but computed inline, *never* through
+            // the SdpCache: the cache's hit/miss gauges stay an exact
+            // census of LIF-GW offline work, which the cache-equivalence
+            // suite pins.
+            let sdp_seed = SplitMix64::derive(spec.seed, 1);
+            let sdp_cfg = SdpConfig {
+                rank: spec.sdp_rank,
+                seed: sdp_seed,
+                ..SdpConfig::default()
+            };
+            let gw = solve_gw(graph, &GwConfig { sdp: sdp_cfg })?;
+            let cfg = LifAnnealedConfig {
+                base: LifGwConfig {
+                    lif: spec.lif,
+                    ..LifGwConfig::default()
+                },
+                schedule: spec.schedule,
+                ..LifAnnealedConfig::default()
+            };
+            let horizon = spec.budget / replicas as u64;
+            let seeds = replica_seeds(SplitMix64::derive(spec.seed, 6), replicas);
+            let mut batch =
+                BatchedLifAnnealedCircuit::new(&gw.factors, graph, &seeds, &cfg, horizon);
+            let driven = drive(graph, &checkpoints, replicas, || batch.next_cuts());
+            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound)))
+        }
+        CircuitFamily::Hopfield => {
+            let cfg = HopfieldConfig {
+                steps_per_sample: spec.hopfield_steps,
+                ..HopfieldConfig::default()
+            };
+            let seeds = replica_seeds(SplitMix64::derive(spec.seed, 7), replicas);
+            let mut batch = BatchedHopfieldCircuit::new(graph, &seeds, &cfg);
+            let driven = drive(graph, &checkpoints, replicas, || batch.next_cuts());
+            Ok(driven.into_outcome(replicas, None))
+        }
+    }
+}
+
+/// The answer to a weighted solve request — [`SolveOutcome`]'s shape
+/// with `f64` cut values.
+#[derive(Clone, Debug)]
+pub struct WeightedSolveOutcome {
+    /// Merged best-so-far trace on the total-samples checkpoint grid.
+    pub trace: WeightedBestTrace,
+    /// The best weighted cut value over every sample of every replica
+    /// (equal to `trace.final_best()`).
+    pub best_value: f64,
+    /// A partition achieving `best_value` (earliest sample, ties by
+    /// lowest replica index).
+    pub best_cut: CutAssignment,
+    /// The weighted SDP upper bound (SDP-backed families only).
+    pub sdp_bound: Option<f64>,
+    /// Effective replica width after capping at the budget.
+    pub replicas: usize,
+    /// Total samples actually drawn: `⌊budget/R⌋·R ≤ budget`.
+    pub samples: u64,
+}
+
+/// [`solve`] on a weighted graph: every family runs, with the weighted
+/// SDP backing LIF-GW and LIF-annealed, weighted couplings in the
+/// Hopfield relaxation, and the weighted Trevisan operator in LIF-TR.
+///
+/// The seed ladder is slot-for-slot [`solve`]'s, so the weighted and
+/// unweighted paths of one master seed never share RNG streams by
+/// accident. Like [`solve`], the outcome is a pure function of
+/// `(graph, spec)`.
+///
+/// # Errors
+///
+/// Same as [`solve`], plus [`SolveError::NegativeWeights`] when the
+/// LIF-Trevisan family is requested on a graph with negative weights
+/// (its operator is undefined there; the other three families accept
+/// signed weights).
+pub fn solve_weighted(
+    graph: &WeightedGraph,
+    spec: &SolveSpec,
+) -> Result<WeightedSolveOutcome, SolveError> {
+    if spec.budget == 0 {
+        return Err(SolveError::EmptyBudget);
+    }
+    if graph.n() == 0 {
+        return Err(SolveError::EmptyGraph);
+    }
+    let replicas = effective_replicas(spec.budget, spec.replicas);
+    let checkpoints = replica_checkpoints(spec.budget, spec.replicas);
+    let sdp_cfg = |spec: &SolveSpec| SdpConfig {
+        rank: spec.sdp_rank,
+        seed: SplitMix64::derive(spec.seed, 1),
+        ..SdpConfig::default()
+    };
+    match spec.family {
+        CircuitFamily::LifGw => {
+            let gw = solve_gw_weighted(graph, &sdp_cfg(spec))?;
+            let cfg = LifGwConfig {
+                lif: spec.lif,
+                ..LifGwConfig::default()
+            };
+            let seeds = replica_seeds(SplitMix64::derive(spec.seed, 3), replicas);
+            let mut batch = BatchedLifGwCircuit::new(&gw.factors, &seeds, &cfg);
+            let driven = drive_weighted(graph, &checkpoints, replicas, || batch.next_cuts());
+            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound)))
+        }
+        CircuitFamily::LifTrevisan => {
+            if !graph.is_nonnegative() {
+                return Err(SolveError::NegativeWeights);
+            }
+            let cfg = LifTrevisanConfig {
+                network: TwoStageConfig {
+                    lif: spec.lif,
+                    ..TwoStageConfig::default()
+                },
+                ..LifTrevisanConfig::default()
+            };
+            let seeds = replica_seeds(SplitMix64::derive(spec.seed, 4), replicas);
+            let mut circuits: Vec<WeightedLifTrevisanCircuit> = seeds
+                .iter()
+                .map(|&s| WeightedLifTrevisanCircuit::new(graph, s, &cfg))
+                .collect();
+            let driven = drive_weighted(graph, &checkpoints, replicas, || {
+                circuits.iter_mut().map(CutSampler::next_cut).collect()
+            });
+            Ok(driven.into_outcome(replicas, None))
+        }
+        CircuitFamily::LifAnnealed => {
+            let gw = solve_gw_weighted(graph, &sdp_cfg(spec))?;
+            let cfg = LifAnnealedConfig {
+                base: LifGwConfig {
+                    lif: spec.lif,
+                    ..LifGwConfig::default()
+                },
+                schedule: spec.schedule,
+                ..LifAnnealedConfig::default()
+            };
+            let horizon = spec.budget / replicas as u64;
+            let seeds = replica_seeds(SplitMix64::derive(spec.seed, 6), replicas);
+            let mut batch =
+                BatchedLifAnnealedCircuit::new_weighted(&gw.factors, graph, &seeds, &cfg, horizon);
+            let driven = drive_weighted(graph, &checkpoints, replicas, || batch.next_cuts());
+            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound)))
+        }
+        CircuitFamily::Hopfield => {
+            let cfg = HopfieldConfig {
+                steps_per_sample: spec.hopfield_steps,
+                ..HopfieldConfig::default()
+            };
+            let seeds = replica_seeds(SplitMix64::derive(spec.seed, 7), replicas);
+            let mut batch = BatchedHopfieldCircuit::new_weighted(graph, &seeds, &cfg);
+            let driven = drive_weighted(graph, &checkpoints, replicas, || batch.next_cuts());
             Ok(driven.into_outcome(replicas, None))
         }
     }
@@ -342,6 +539,85 @@ fn drive(
     }
 }
 
+/// Intermediate result of [`drive_weighted`].
+struct DrivenWeighted {
+    trace: WeightedBestTrace,
+    best_value: f64,
+    best_cut: CutAssignment,
+}
+
+impl DrivenWeighted {
+    fn into_outcome(self, replicas: usize, sdp_bound: Option<f64>) -> WeightedSolveOutcome {
+        let samples = self.trace.checkpoints.last().copied().unwrap_or(0);
+        WeightedSolveOutcome {
+            best_value: self.best_value,
+            best_cut: self.best_cut,
+            trace: self.trace,
+            sdp_bound,
+            replicas,
+            samples,
+        }
+    }
+}
+
+/// [`drive`] with weighted cut values: per-replica incremental
+/// [`WeightedCutTracker`]s, `f64` best-so-far merging, and the same
+/// earliest-sample/lowest-replica champion semantics (strictly-greater
+/// updates).
+fn drive_weighted(
+    graph: &WeightedGraph,
+    checkpoints: &[u64],
+    replicas: usize,
+    mut next_cuts: impl FnMut() -> Vec<CutAssignment>,
+) -> DrivenWeighted {
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly ascending"
+    );
+    assert!(!checkpoints.is_empty(), "budget ≥ 1 yields ≥ 1 checkpoint");
+    let mut trackers: Vec<Option<WeightedCutTracker<'_>>> = (0..replicas).map(|_| None).collect();
+    let mut per_replica_best = vec![f64::NEG_INFINITY; replicas];
+    let mut merged_best = Vec::with_capacity(checkpoints.len());
+    let mut champion: Option<(f64, CutAssignment)> = None;
+    let mut drawn = 0u64;
+    for &cp in checkpoints {
+        while drawn < cp {
+            let cuts = next_cuts();
+            debug_assert_eq!(cuts.len(), replicas);
+            for (r, cut) in cuts.into_iter().enumerate() {
+                let value = match trackers[r].as_mut() {
+                    Some(t) => t.set_to(&cut),
+                    None => {
+                        let t = WeightedCutTracker::new(graph, cut.clone());
+                        let v = t.value();
+                        trackers[r] = Some(t);
+                        v
+                    }
+                };
+                per_replica_best[r] = per_replica_best[r].max(value);
+                if champion.as_ref().is_none_or(|(best, _)| value > *best) {
+                    champion = Some((value, cut));
+                }
+            }
+            drawn += 1;
+        }
+        let best = per_replica_best
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        merged_best.push(best);
+    }
+    let (best_value, best_cut) = champion.expect("≥ 1 sample was drawn");
+    DrivenWeighted {
+        trace: WeightedBestTrace {
+            checkpoints: checkpoints.iter().map(|&c| c * replicas as u64).collect(),
+            best: merged_best,
+        },
+        best_value,
+        best_cut,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,7 +637,12 @@ mod tests {
         for f in CircuitFamily::all() {
             assert_eq!(CircuitFamily::from_name(f.name()), Some(f));
         }
+        assert_eq!(CircuitFamily::all().len(), 4);
+        assert_eq!(CircuitFamily::from_name("lif-annealed"), Some(CircuitFamily::LifAnnealed));
+        assert_eq!(CircuitFamily::from_name("hopfield"), Some(CircuitFamily::Hopfield));
         assert_eq!(CircuitFamily::from_name("gw"), None);
+        assert!(CircuitFamily::LifAnnealed.uses_sdp());
+        assert!(!CircuitFamily::Hopfield.uses_sdp());
     }
 
     #[test]
@@ -391,12 +672,11 @@ mod tests {
             assert_eq!(out.replicas, 4);
             assert_eq!(out.trace.checkpoints.last(), Some(&64));
             assert!(out.trace.best.windows(2).all(|w| w[0] <= w[1]));
-            match family {
-                CircuitFamily::LifGw => {
-                    let bound = out.sdp_bound.expect("LIF-GW carries the SDP bound");
-                    assert!(bound >= out.best_value as f64 - 1e-6);
-                }
-                CircuitFamily::LifTrevisan => assert_eq!(out.sdp_bound, None),
+            if family.uses_sdp() {
+                let bound = out.sdp_bound.expect("SDP-backed families carry the bound");
+                assert!(bound >= out.best_value as f64 - 1e-6, "{family:?}");
+            } else {
+                assert_eq!(out.sdp_bound, None, "{family:?}");
             }
         }
     }
@@ -435,7 +715,9 @@ mod tests {
         }
         let stats = cache.stats();
         // Only LIF-GW touches the cache: 3 seeds × (1 miss + 1 hit).
-        assert_eq!((stats.hits, stats.misses), (3, 3), "LIF-Trevisan bypasses");
+        // LIF-Trevisan and Hopfield do no offline work; LIF-annealed
+        // computes its SDP inline by design.
+        assert_eq!((stats.hits, stats.misses), (3, 3), "other families bypass");
     }
 
     #[test]
@@ -502,5 +784,167 @@ mod tests {
         assert_eq!(out.samples, 8); // 4 · ⌊10/4⌋
         assert_eq!(out.trace.checkpoints.last(), Some(&8));
         assert_eq!(out.best_cut.cut_value(&g), out.best_value);
+    }
+
+    #[test]
+    fn annealed_never_consults_the_sdp_cache() {
+        // The family computes its SDP inline (same slot-1 seed as
+        // LIF-GW) but must leave the cache gauges untouched — the
+        // serving layer's hit/miss census counts LIF-GW offline work
+        // only.
+        let cache = SdpCache::new(8);
+        let g = gnp(14, 0.5, 6).unwrap();
+        let s = spec(CircuitFamily::LifAnnealed);
+        let cold = solve(&g, &s).unwrap();
+        let warm = solve_with_cache(&g, &s, Some(&cache)).unwrap();
+        assert_eq!(cold.trace, warm.trace);
+        assert_eq!(cold.best_cut, warm.best_cut);
+        assert_eq!(cold.sdp_bound, warm.sdp_bound);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn annealed_and_lif_gw_share_the_sdp_bound() {
+        // Same master seed ⇒ same slot-1 SDP seed ⇒ bit-identical
+        // factors and bound, even though the sampling ladders differ
+        // (slot 6 vs slot 3).
+        let g = gnp(16, 0.4, 12).unwrap();
+        let gw = solve(&g, &spec(CircuitFamily::LifGw)).unwrap();
+        let annealed = solve(&g, &spec(CircuitFamily::LifAnnealed)).unwrap();
+        assert_eq!(
+            gw.sdp_bound.unwrap().to_bits(),
+            annealed.sdp_bound.unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn cooling_schedule_changes_the_samples() {
+        // A constant schedule keeps the readout pure LIF-GW; the default
+        // geometric schedule departs from it once σ cools. Both are
+        // deterministic, so inequality of the sample streams is a stable
+        // fact of this seed, not a flake.
+        let g = gnp(18, 0.4, 5).unwrap();
+        let factors = solve_gw(&g, &GwConfig::default()).unwrap().factors;
+        let cooled_cfg = LifAnnealedConfig::default();
+        let constant_cfg = LifAnnealedConfig {
+            schedule: CoolingSchedule::constant(1.0).unwrap(),
+            ..LifAnnealedConfig::default()
+        };
+        let mut cooled = BatchedLifAnnealedCircuit::new(&factors, &g, &[9], &cooled_cfg, 32);
+        let mut constant = BatchedLifAnnealedCircuit::new(&factors, &g, &[9], &constant_cfg, 32);
+        let a: Vec<_> = (0..32).flat_map(|_| cooled.next_cuts()).collect();
+        let b: Vec<_> = (0..32).flat_map(|_| constant.next_cuts()).collect();
+        assert_ne!(a, b, "cooling must alter the sample stream");
+    }
+
+    #[test]
+    fn weighted_outcome_is_internally_consistent() {
+        let base = gnp(14, 0.5, 8).unwrap();
+        let g = snc_graph::weighted::randomize_weights(
+            &base,
+            snc_graph::weighted::WeightDistribution::Uniform { lo: 0.5, hi: 2.0 },
+            3,
+        )
+        .unwrap();
+        for family in CircuitFamily::all() {
+            let out = solve_weighted(&g, &spec(family)).unwrap();
+            // The incremental tracker resyncs periodically, so the
+            // reported value matches a scratch evaluation to rounding.
+            let scratch = g.cut_value(&out.best_cut);
+            assert!(
+                (out.best_value - scratch).abs() <= 1e-9 * g.total_weight().max(1.0),
+                "{family:?}: {} vs {scratch}",
+                out.best_value
+            );
+            assert_eq!(out.best_value, out.trace.final_best(), "{family:?}");
+            assert_eq!(out.samples, 64);
+            assert_eq!(out.replicas, 4);
+            assert!(out.trace.best.windows(2).all(|w| w[0] <= w[1]));
+            if family.uses_sdp() {
+                let bound = out.sdp_bound.expect("SDP-backed families carry the bound");
+                assert!(bound >= out.best_value - 1e-6, "{family:?}");
+            } else {
+                assert_eq!(out.sdp_bound, None, "{family:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_solves_are_deterministic() {
+        let base = gnp(12, 0.5, 9).unwrap();
+        let g = snc_graph::weighted::randomize_weights(
+            &base,
+            snc_graph::weighted::WeightDistribution::Uniform { lo: 0.5, hi: 2.0 },
+            7,
+        )
+        .unwrap();
+        for family in CircuitFamily::all() {
+            let a = solve_weighted(&g, &spec(family)).unwrap();
+            let b = solve_weighted(&g, &spec(family)).unwrap();
+            assert_eq!(a.trace, b.trace, "{family:?}");
+            assert_eq!(a.best_cut, b.best_cut, "{family:?}");
+            assert_eq!(
+                a.best_value.to_bits(),
+                b.best_value.to_bits(),
+                "{family:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_weights_reject_trevisan_only() {
+        let g = WeightedGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, -0.5), (2, 3, 2.0)],
+        )
+        .unwrap();
+        assert_eq!(
+            solve_weighted(&g, &spec(CircuitFamily::LifTrevisan)).unwrap_err(),
+            SolveError::NegativeWeights
+        );
+        for family in [
+            CircuitFamily::LifGw,
+            CircuitFamily::LifAnnealed,
+            CircuitFamily::Hopfield,
+        ] {
+            let out = solve_weighted(&g, &spec(family)).unwrap();
+            assert!(out.best_value.is_finite(), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_rejects_degenerate_requests() {
+        let g = WeightedGraph::from_weighted_edges(3, &[(0, 1, 1.0)]).unwrap();
+        let mut s = spec(CircuitFamily::Hopfield);
+        s.budget = 0;
+        assert_eq!(solve_weighted(&g, &s).unwrap_err(), SolveError::EmptyBudget);
+        let empty = WeightedGraph::from_weighted_edges(0, &[]).unwrap();
+        assert_eq!(
+            solve_weighted(&empty, &spec(CircuitFamily::Hopfield)).unwrap_err(),
+            SolveError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn unit_weighted_hopfield_matches_unweighted() {
+        // Hopfield consumes only the coupling list, so unit weights via
+        // the weighted path reproduce the unweighted solve exactly.
+        let base = gnp(12, 0.5, 4).unwrap();
+        let g = WeightedGraph::from_graph(&base);
+        let s = spec(CircuitFamily::Hopfield);
+        let unweighted = solve(&base, &s).unwrap();
+        let weighted = solve_weighted(&g, &s).unwrap();
+        assert_eq!(weighted.best_cut, unweighted.best_cut);
+        assert_eq!(weighted.best_value, unweighted.best_value as f64);
+        assert_eq!(
+            weighted.trace.best,
+            unweighted
+                .trace
+                .best
+                .iter()
+                .map(|&v| v as f64)
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -1,0 +1,289 @@
+//! Continuous Hopfield–Tank relaxation dynamics.
+//!
+//! The deterministic counterpart of the stochastic device-driven
+//! networks: `n` analog units with internal potentials `u_i`, outputs
+//! `x_i = tanh(gain · u_i)`, coupled through a symmetric weight matrix
+//! `W` and relaxed by forward-Euler integration of
+//!
+//! ```text
+//! du_i/dt = −leak · u_i − Σ_j w_ij x_j
+//! ```
+//!
+//! With anti-ferromagnetic couplings (`w_ij > 0` on graph edges) the
+//! dynamics descend the Hopfield energy
+//! `E = ½ Σ_ij w_ij x_i x_j + (leak/gain) Σ_i ∫₀^{x_i} atanh(s) ds`,
+//! driving adjacent units to opposite signs — a sign-threshold readout
+//! of the fixed point is a locally good MAXCUT partition (Hopfield &
+//! Tank 1985; Cai et al. 2020 run the same descent on memristor
+//! crossbars). No randomness enters after the seeded initial state, so
+//! a trajectory is a pure function of `(couplings, params, seed)`.
+
+use snc_devices::{Rng64, Xoshiro256pp};
+
+/// Parameters of the continuous Hopfield–Tank dynamics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HopfieldParams {
+    /// Forward-Euler step size.
+    pub dt: f64,
+    /// Activation steepness: `x = tanh(gain · u)`.
+    pub gain: f64,
+    /// Leak rate of the internal potential.
+    pub leak: f64,
+    /// Half-width of the uniform random initial potentials.
+    pub init_scale: f64,
+}
+
+impl Default for HopfieldParams {
+    fn default() -> Self {
+        Self {
+            dt: 0.1,
+            gain: 2.0,
+            leak: 1.0,
+            init_scale: 0.1,
+        }
+    }
+}
+
+/// A continuous Hopfield network over a symmetric coupling list.
+///
+/// # Examples
+///
+/// ```
+/// use snc_neuro::hopfield::{HopfieldNetwork, HopfieldParams};
+///
+/// // One anti-ferromagnetic pair: the two units relax to opposite signs.
+/// let mut net = HopfieldNetwork::new(2, &[(0, 1, 1.0)], HopfieldParams::default(), 7);
+/// net.step_many(200);
+/// let x = net.activations();
+/// assert!(x[0] * x[1] < 0.0, "units must split: {x:?}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct HopfieldNetwork {
+    /// CSR offsets into `targets` / `weights`, one slice per unit.
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    params: HopfieldParams,
+    u: Vec<f64>,
+    x: Vec<f64>,
+    /// Scratch for the synchronous update.
+    du: Vec<f64>,
+    steps: u64,
+}
+
+impl HopfieldNetwork {
+    /// Builds the network from an undirected coupling list (each pair is
+    /// applied in both directions) and seeds the initial potentials
+    /// uniformly in `[−init_scale, init_scale]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coupling endpoint is out of range. Self-couplings are
+    /// dropped (a unit does not drive itself).
+    pub fn new(n: usize, couplings: &[(u32, u32, f64)], params: HopfieldParams, seed: u64) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(i, j, _) in couplings {
+            assert!(
+                (i as usize) < n && (j as usize) < n,
+                "coupling ({i},{j}) out of range for n={n}"
+            );
+            if i != j {
+                degree[i as usize] += 1;
+                degree[j as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; acc];
+        let mut weights = vec![0.0f64; acc];
+        for &(i, j, w) in couplings {
+            if i == j {
+                continue;
+            }
+            for (a, b) in [(i as usize, j), (j as usize, i)] {
+                targets[cursor[a]] = b;
+                weights[cursor[a]] = w;
+                cursor[a] += 1;
+            }
+        }
+        let mut rng = Xoshiro256pp::new(seed);
+        let u: Vec<f64> = (0..n)
+            .map(|_| (2.0 * rng.next_f64() - 1.0) * params.init_scale)
+            .collect();
+        let x: Vec<f64> = u.iter().map(|&ui| (params.gain * ui).tanh()).collect();
+        Self {
+            offsets,
+            targets,
+            weights,
+            params,
+            u,
+            x,
+            du: vec![0.0; n],
+            steps: 0,
+        }
+    }
+
+    /// Number of units.
+    pub fn n(&self) -> usize {
+        self.u.len()
+    }
+
+    /// Euler steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The unit outputs `x = tanh(gain · u)`.
+    pub fn activations(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The internal potentials `u`.
+    pub fn potentials(&self) -> &[f64] {
+        &self.u
+    }
+
+    /// One synchronous forward-Euler step: every `du_i` is computed from
+    /// the *current* outputs before any potential moves.
+    pub fn step(&mut self) {
+        let p = self.params;
+        for i in 0..self.u.len() {
+            let mut drive = 0.0;
+            for k in self.offsets[i]..self.offsets[i + 1] {
+                drive += self.weights[k] * self.x[self.targets[k] as usize];
+            }
+            self.du[i] = p.dt * (-p.leak * self.u[i] - drive);
+        }
+        for i in 0..self.u.len() {
+            self.u[i] += self.du[i];
+            self.x[i] = (p.gain * self.u[i]).tanh();
+        }
+        self.steps += 1;
+    }
+
+    /// Advances `k` steps.
+    pub fn step_many(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// The Hopfield energy
+    /// `½ Σ_ij w_ij x_i x_j + (leak/gain) Σ_i ∫₀^{x_i} atanh(s) ds`,
+    /// the Lyapunov function the continuous dynamics descend (for
+    /// sufficiently small `dt`).
+    pub fn energy(&self) -> f64 {
+        let mut coupling = 0.0;
+        for i in 0..self.u.len() {
+            for k in self.offsets[i]..self.offsets[i + 1] {
+                coupling += self.weights[k] * self.x[i] * self.x[self.targets[k] as usize];
+            }
+        }
+        let mut barrier = 0.0;
+        for &xi in &self.x {
+            // ∫₀^x atanh(s) ds = x·atanh(x) + ½·ln(1 − x²).
+            let c = xi.clamp(-1.0 + 1e-15, 1.0 - 1e-15);
+            barrier += c * c.atanh() + 0.5 * (1.0 - c * c).ln();
+        }
+        0.5 * coupling + (self.params.leak / self.params.gain) * barrier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Vec<(u32, u32, f64)> {
+        vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = HopfieldNetwork::new(3, &triangle(), HopfieldParams::default(), 11);
+        let mut b = HopfieldNetwork::new(3, &triangle(), HopfieldParams::default(), 11);
+        a.step_many(50);
+        b.step_many(50);
+        assert_eq!(a.potentials(), b.potentials());
+        assert_eq!(a.activations(), b.activations());
+        let mut c = HopfieldNetwork::new(3, &triangle(), HopfieldParams::default(), 12);
+        c.step_many(50);
+        assert_ne!(a.potentials(), c.potentials(), "seed must matter");
+    }
+
+    #[test]
+    fn initial_potentials_bounded_by_init_scale() {
+        let params = HopfieldParams {
+            init_scale: 0.25,
+            ..HopfieldParams::default()
+        };
+        let net = HopfieldNetwork::new(64, &[], params, 3);
+        assert!(net.potentials().iter().all(|u| u.abs() <= 0.25));
+        assert!(net.potentials().iter().any(|u| u.abs() > 0.0));
+        assert_eq!(net.steps(), 0);
+    }
+
+    #[test]
+    fn antiferromagnetic_pair_relaxes_to_opposite_signs() {
+        let mut net = HopfieldNetwork::new(2, &[(0, 1, 1.0)], HopfieldParams::default(), 5);
+        net.step_many(300);
+        let x = net.activations();
+        assert!(x[0] * x[1] < -0.5, "strongly split: {x:?}");
+    }
+
+    #[test]
+    fn update_is_synchronous() {
+        // Hand-computed single step on the pair: du_i uses the *old* x_j.
+        let params = HopfieldParams {
+            dt: 0.5,
+            gain: 1.0,
+            leak: 1.0,
+            init_scale: 0.1,
+        };
+        let mut net = HopfieldNetwork::new(2, &[(0, 1, 1.0)], params, 9);
+        let u0 = net.potentials().to_vec();
+        let x0 = net.activations().to_vec();
+        net.step();
+        for i in 0..2 {
+            let expected = u0[i] + 0.5 * (-u0[i] - x0[1 - i]);
+            assert!(
+                (net.potentials()[i] - expected).abs() < 1e-15,
+                "unit {i}: {} vs {expected}",
+                net.potentials()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn energy_descends_under_small_steps() {
+        let params = HopfieldParams {
+            dt: 0.01,
+            ..HopfieldParams::default()
+        };
+        let mut net = HopfieldNetwork::new(3, &triangle(), params, 21);
+        let mut prev = net.energy();
+        for step in 0..500 {
+            net.step();
+            let e = net.energy();
+            assert!(e <= prev + 1e-9, "step {step}: energy rose {prev} → {e}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn self_couplings_are_dropped_and_bad_endpoints_panic() {
+        let net = HopfieldNetwork::new(2, &[(0, 0, 5.0), (0, 1, 1.0)], HopfieldParams::default(), 1);
+        assert_eq!(net.n(), 2);
+        // Only the (0,1) pair survives: two CSR entries.
+        assert_eq!(net.targets.len(), 2);
+        let bad = std::panic::catch_unwind(|| {
+            HopfieldNetwork::new(2, &[(0, 7, 1.0)], HopfieldParams::default(), 1)
+        });
+        assert!(bad.is_err(), "out-of-range coupling must panic");
+    }
+}

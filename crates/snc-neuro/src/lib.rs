@@ -26,6 +26,9 @@
 //!   [`TwoStageNetwork`] (the LIF-TR topology with a plastic readout
 //!   neuron), and [`BatchedTwoStageNetwork`] (R lock-stepped LIF-TR
 //!   replicas sharing each weight-matrix traversal).
+//! * [`hopfield`] — deterministic continuous Hopfield–Tank relaxation
+//!   (`du = −leak·u − W·tanh(gain·u)`), the classical analog-descent
+//!   counterpart the annealed/Hopfield circuit families build on.
 //! * [`parallel`] — replica execution across threads with deterministic
 //!   per-replica seeds, and the [`ReplicaBatch`] structure-of-arrays
 //!   stepper the batched circuits build on.
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod hopfield;
 pub mod lif;
 pub mod network;
 pub mod parallel;
@@ -42,6 +46,7 @@ pub mod spike;
 pub mod synapse;
 pub mod theory;
 
+pub use hopfield::{HopfieldNetwork, HopfieldParams};
 pub use lif::{Integrator, LifParams, Reset};
 pub use network::{
     BatchedTwoStageNetwork, DeviceDrivenNetwork, PlasticitySignal, TwoStageConfig, TwoStageNetwork,

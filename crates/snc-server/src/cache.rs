@@ -37,9 +37,42 @@ const MIN_BYTES_PER_SHARD: usize = 64 * 1024;
 /// Fixed per-entry bookkeeping charge (list node, counters, `Arc`).
 const ENTRY_OVERHEAD: usize = 128;
 
+/// The instance a cached response was computed for: either a plain
+/// graph (pre-filtered by its [`GraphFingerprint`]) or a canonical
+/// string rendering of a non-`Graph` workload — weighted graphs,
+/// MAX2SAT instances, and MAXDICUT digraphs have no CSR fingerprint, so
+/// their full instance is folded into the key as a deterministic string
+/// (floats rendered via `f64::to_bits`, so byte-equality ⇔
+/// bit-equality).
+#[derive(Clone, Debug, PartialEq)]
+enum Payload {
+    /// An unweighted MAXCUT graph.
+    Graph {
+        graph: Graph,
+        fingerprint: GraphFingerprint,
+    },
+    /// A canonical rendering of any other workload instance.
+    Canonical(String),
+}
+
+/// Order-sensitive fold of a byte string into a 64-bit digest (same
+/// `mix` core as the graph fingerprint).
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut d = 0x9E37_79B9_7F4A_7C15u64;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        d = snc_graph::fingerprint::mix(d ^ u64::from_le_bytes(word));
+    }
+    snc_graph::fingerprint::mix(d ^ bytes.len() as u64)
+}
+
 /// The full canonical request — everything the response body depends
 /// on. Server-wide constants (SDP rank, LIF parameters) are fixed per
 /// process and deliberately excluded; the cache never outlives them.
+/// Per-request solver knobs beyond the common five (cooling schedules,
+/// Hopfield step counts) travel in `extras`, a canonical string that
+/// participates in equality, digest, and cost.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ResponseKey {
     family: CircuitFamily,
@@ -47,12 +80,12 @@ pub struct ResponseKey {
     replicas: usize,
     seed: u64,
     graph_label: String,
-    graph: Graph,
-    fingerprint: GraphFingerprint,
+    payload: Payload,
+    extras: String,
 }
 
 impl ResponseKey {
-    /// Builds the canonical key for a parsed solve job.
+    /// Builds the canonical key for a parsed unweighted solve job.
     pub fn new(
         family: CircuitFamily,
         budget: u64,
@@ -68,15 +101,50 @@ impl ResponseKey {
             replicas,
             seed,
             graph_label,
-            graph,
-            fingerprint,
+            payload: Payload::Graph { graph, fingerprint },
+            extras: String::new(),
         }
+    }
+
+    /// Builds a key whose instance is a canonical string (weighted
+    /// graphs, MAX2SAT, MAXDICUT). A canonical key can never collide
+    /// with a graph key — the payload variants are distinct — and two
+    /// canonical keys hit only on byte-equal strings.
+    pub fn new_canonical(
+        family: CircuitFamily,
+        budget: u64,
+        replicas: usize,
+        seed: u64,
+        graph_label: String,
+        canonical: String,
+    ) -> Self {
+        Self {
+            family,
+            budget,
+            replicas,
+            seed,
+            graph_label,
+            payload: Payload::Canonical(canonical),
+            extras: String::new(),
+        }
+    }
+
+    /// Attaches the canonical rendering of family-specific knobs (the
+    /// wire layer's `spec_extras`). Keys differing only in extras never
+    /// share an entry.
+    #[must_use]
+    pub fn with_extras(mut self, extras: String) -> Self {
+        self.extras = extras;
+        self
     }
 
     /// A 64-bit digest for shard routing and cheap pre-filtering (always
     /// followed by a full equality check on hit).
     fn digest(&self) -> u64 {
-        let mut d = self.fingerprint.fold();
+        let mut d = match &self.payload {
+            Payload::Graph { fingerprint, .. } => fingerprint.fold(),
+            Payload::Canonical(s) => hash_bytes(s.as_bytes()),
+        };
         for word in [
             self.budget,
             self.replicas as u64,
@@ -86,16 +154,23 @@ impl ResponseKey {
         ] {
             d = snc_graph::fingerprint::mix(d ^ word);
         }
+        if !self.extras.is_empty() {
+            d = snc_graph::fingerprint::mix(d ^ hash_bytes(self.extras.as_bytes()));
+        }
         d
     }
 
     /// The bytes an entry with this key and a `body_len`-byte body is
-    /// charged against the cache budget: body + graph CSR footprint +
-    /// label + fixed overhead. Exposed so tests and benches can size
-    /// budgets that provably force (or provably avoid) eviction.
+    /// charged against the cache budget: body + instance footprint (CSR
+    /// estimate or canonical-string length) + label + extras + fixed
+    /// overhead. Exposed so tests and benches can size budgets that
+    /// provably force (or provably avoid) eviction.
     pub fn cost(&self, body_len: usize) -> usize {
-        let graph_bytes = 8 * (self.graph.n() + 1) + 4 * 2 * self.graph.m();
-        body_len + graph_bytes + self.graph_label.len() + ENTRY_OVERHEAD
+        let instance_bytes = match &self.payload {
+            Payload::Graph { graph, .. } => 8 * (graph.n() + 1) + 4 * 2 * graph.m(),
+            Payload::Canonical(s) => s.len(),
+        };
+        body_len + instance_bytes + self.graph_label.len() + self.extras.len() + ENTRY_OVERHEAD
     }
 }
 
@@ -294,6 +369,7 @@ mod tests {
         seed.seed = 43;
         let mut label = base.clone();
         label.graph_label = "other".to_string();
+        let extras = base.clone().with_extras("steps=9".to_string());
         let graph = key(2, 42);
         for (name, k) in [
             ("family", &family),
@@ -301,6 +377,7 @@ mod tests {
             ("replicas", &replicas),
             ("seed", &seed),
             ("label", &label),
+            ("extras", &extras),
             ("graph", &graph),
         ] {
             assert!(cache.get(k).is_none(), "{name} must be part of the key");
@@ -323,10 +400,87 @@ mod tests {
         let g = gnp(10, 0.5, 9).unwrap();
         let a = ResponseKey::new(CircuitFamily::LifGw, 8, 1, 0, "edges".into(), g.clone());
         let b = ResponseKey::new(CircuitFamily::LifGw, 8, 1, 0, "edgelist".into(), g);
-        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.payload, b.payload);
         cache.insert(a.clone(), "a-body".to_string());
         assert!(cache.get(&b).is_none(), "same graph, different label: miss");
         assert_eq!(cache.get(&a).as_deref().map(String::as_str), Some("a-body"));
+    }
+
+    #[test]
+    fn canonical_payloads_roundtrip_and_distinguish() {
+        let cache = ResponseCache::new(1 << 20);
+        let a = ResponseKey::new_canonical(
+            CircuitFamily::LifGw,
+            32,
+            1,
+            7,
+            "max2sat".to_string(),
+            "max2sat:vars=3;+1-2:3ff0000000000000".to_string(),
+        );
+        cache.insert(a.clone(), "sat-body".to_string());
+        assert_eq!(
+            cache.get(&a).as_deref().map(String::as_str),
+            Some("sat-body")
+        );
+        // A single differing byte in the canonical string must miss.
+        let b = ResponseKey::new_canonical(
+            CircuitFamily::LifGw,
+            32,
+            1,
+            7,
+            "max2sat".to_string(),
+            "max2sat:vars=3;+1-3:3ff0000000000000".to_string(),
+        );
+        assert!(cache.get(&b).is_none());
+        assert!(a.cost(16) >= 16 + ENTRY_OVERHEAD);
+    }
+
+    #[test]
+    fn graph_and_canonical_payloads_never_cross_hit() {
+        let cache = ResponseCache::new(1 << 20);
+        let graph_key = key(1, 42);
+        cache.insert(graph_key.clone(), "graph-body".to_string());
+        // Same scalar components, canonical payload: distinct variant,
+        // distinct entry — even if the digests happened to collide the
+        // full-equality check keeps them apart.
+        let canonical = ResponseKey::new_canonical(
+            CircuitFamily::LifGw,
+            64,
+            4,
+            42,
+            "gnp(seed=1)".to_string(),
+            "wgraph:n=12;".to_string(),
+        );
+        assert!(cache.get(&canonical).is_none());
+        cache.insert(canonical.clone(), "canon-body".to_string());
+        assert_eq!(
+            cache.get(&graph_key).as_deref().map(String::as_str),
+            Some("graph-body")
+        );
+        assert_eq!(
+            cache.get(&canonical).as_deref().map(String::as_str),
+            Some("canon-body")
+        );
+    }
+
+    #[test]
+    fn extras_distinguish_otherwise_equal_requests() {
+        let cache = ResponseCache::new(1 << 20);
+        let plain = key(1, 42);
+        let geometric = plain
+            .clone()
+            .with_extras("schedule=geometric:3ff0000000000000:3fa999999999999a".to_string());
+        let linear = plain
+            .clone()
+            .with_extras("schedule=linear:3ff0000000000000:3fa999999999999a".to_string());
+        cache.insert(plain.clone(), "plain".to_string());
+        cache.insert(geometric.clone(), "geo".to_string());
+        cache.insert(linear.clone(), "lin".to_string());
+        assert_eq!(cache.get(&plain).as_deref().map(String::as_str), Some("plain"));
+        assert_eq!(cache.get(&geometric).as_deref().map(String::as_str), Some("geo"));
+        assert_eq!(cache.get(&linear).as_deref().map(String::as_str), Some("lin"));
+        // Extras are charged against the byte budget.
+        assert!(geometric.cost(0) > plain.cost(0));
     }
 
     #[test]

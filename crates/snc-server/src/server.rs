@@ -14,11 +14,15 @@
 //!      │                bounded WorkerPool queue  ──503 when full  │
 //!      │                        │                                  │
 //!      │                        ▼                                  │
-//!      │                worker: snc_maxcut::solve_with_cache       │
-//!      │                        │  (SdpCache: per-graph factor/bound
-//!      │                        │   memo for LIF-GW's offline stage;
-//!      │                        │   BatchedLifGw / BatchedLifTrevisan
-//!      │                        │   ReplicaBatch stepping, seeded ladder)
+//!      │                worker, by workload:                       │
+//!      │                  graph      → snc_maxcut::solve_with_cache
+//!      │                        │      (SdpCache: per-graph factor/bound
+//!      │                        │       memo for LIF-GW's offline stage;
+//!      │                        │       all four circuit families on the
+//!      │                        │       ReplicaBatch seed ladder)
+//!      │                  weighted   → snc_maxcut::solve_weighted  │
+//!      │                  max2sat    → extensions::solve_gw_max2sat│
+//!      │                  maxdicut   → extensions::solve_gw_maxdicut
 //!      │                        ▼                                  │
 //!      └──────────◀── deterministic JSON body ◀────────────────────┘
 //!                      (+ x-snc-elapsed-us header)
@@ -43,10 +47,12 @@
 use crate::cache::{ResponseCache, ResponseKey};
 use crate::http::{self, HttpError, Request};
 use crate::jobs::{JobStatus, JobStore};
-use crate::wire::{self, RequestDefaults, SolveJob};
+use crate::wire::{self, RequestDefaults, Workload};
+use snc_devices::SplitMix64;
 use snc_experiments::json::Json;
 use snc_experiments::runner::WorkerPool;
-use snc_maxcut::SdpCache;
+use snc_linalg::SdpConfig;
+use snc_maxcut::{CircuitFamily, SdpCache};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,6 +83,8 @@ pub struct ServerConfig {
     pub max_vertices: usize,
     /// Largest accepted replica width per request.
     pub max_replicas: usize,
+    /// Largest accepted Hopfield `"steps"` per sample.
+    pub max_hopfield_steps: u64,
     /// Largest accepted request body in bytes.
     pub max_body_bytes: usize,
     /// SDP factor/bound entries retained by the per-graph
@@ -98,6 +106,7 @@ impl Default for ServerConfig {
             max_budget: 1 << 22,
             max_vertices: 10_000,
             max_replicas: 1024,
+            max_hopfield_steps: 4096,
             max_body_bytes: 1 << 20,
             sdp_cache_entries: 128,
             response_cache_bytes: 4 << 20,
@@ -120,6 +129,7 @@ impl ServerConfig {
             max_budget: self.max_budget,
             max_vertices: self.max_vertices,
             max_replicas: self.max_replicas,
+            max_hopfield_steps: self.max_hopfield_steps,
         }
     }
 }
@@ -148,11 +158,15 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
-impl Shared {
-    /// The canonical cache key for a parsed solve job (the full
-    /// request: family, budget, replicas, seed, graph label, graph).
-    fn response_key(&self, job: &SolveJob) -> ResponseKey {
-        ResponseKey::new(
+/// The canonical cache key for a parsed workload (the full request:
+/// family, budget, replicas, seed, instance, family-specific knobs).
+/// Non-graph instances key on their canonical string; the extension
+/// workloads have no circuit family or replica width, so they pin the
+/// placeholder `(LifGw, 1)` — distinct labels and canonical prefixes
+/// keep them from ever colliding with a real graph request.
+fn response_key(workload: &Workload) -> ResponseKey {
+    match workload {
+        Workload::MaxCut(job) => ResponseKey::new(
             job.spec.family,
             job.spec.budget,
             job.spec.replicas,
@@ -160,6 +174,32 @@ impl Shared {
             job.graph_label.clone(),
             job.graph.clone(),
         )
+        .with_extras(wire::spec_extras(&job.spec)),
+        Workload::WeightedMaxCut(job) => ResponseKey::new_canonical(
+            job.spec.family,
+            job.spec.budget,
+            job.spec.replicas,
+            job.spec.seed,
+            job.graph_label.clone(),
+            job.canonical_graph(),
+        )
+        .with_extras(wire::spec_extras(&job.spec)),
+        Workload::Max2Sat(job) => ResponseKey::new_canonical(
+            CircuitFamily::LifGw,
+            job.samples,
+            1,
+            job.seed,
+            "max2sat".to_string(),
+            job.canonical(),
+        ),
+        Workload::MaxDicut(job) => ResponseKey::new_canonical(
+            CircuitFamily::LifGw,
+            job.samples,
+            1,
+            job.seed,
+            "maxdicut".to_string(),
+            job.canonical(),
+        ),
     }
 }
 
@@ -410,23 +450,74 @@ fn healthz(shared: &Arc<Shared>) -> String {
     .render()
 }
 
-/// Runs a solve with panic containment; a panic anywhere below the
+/// Runs a closure with panic containment; a panic anywhere below the
 /// dispatch layer becomes an error string instead of killing the
 /// response path (sync) or stranding a job record at `running` (async).
-fn guarded_solve(
-    graph: &snc_graph::Graph,
-    spec: &snc_maxcut::SolveSpec,
-    sdp_cache: Option<&SdpCache>,
-) -> Result<snc_maxcut::SolveOutcome, (u16, String)> {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        snc_maxcut::solve_with_cache(graph, spec, sdp_cache)
-    })) {
+fn guarded<T>(f: impl FnOnce() -> Result<T, String>) -> Result<T, (u16, String)> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         // Parse-time validation already rejected every client-side cause
-        // of SolveError (zero budget, empty graph), so what reaches here
-        // is an internal failure: answer 500, not 400.
+        // of solver errors (zero budget, empty graph, negative weights on
+        // lif-trevisan, out-of-range literals), so what reaches here is
+        // an internal failure: answer 500, not 400.
         Ok(Err(e)) => Err((500, format!("solve failed: {e}"))),
         Err(_) => Err((500, "internal error: solver panicked".to_string())),
-        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Ok(value)) => Ok(value),
+    }
+}
+
+/// The SDP configuration for the extension workloads: same rank default
+/// and slot-1 derived seed as the circuit solve path, so the offline
+/// stage of every workload hangs off the master seed the same way.
+fn extension_sdp_config(defaults: &RequestDefaults, seed: u64) -> SdpConfig {
+    SdpConfig {
+        rank: defaults.sdp_rank,
+        seed: SplitMix64::derive(seed, 1),
+        ..SdpConfig::default()
+    }
+}
+
+/// Executes a parsed workload to its deterministic response tree (the
+/// unit of work scheduled on the pool). Only the unweighted graph
+/// workload consults the [`SdpCache`] — the weighted and extension SDPs
+/// are solved inline, keeping the cache a census of LIF-GW offline work.
+fn run_workload(
+    workload: &Workload,
+    defaults: &RequestDefaults,
+    sdp_cache: Option<&SdpCache>,
+) -> Result<Json, (u16, String)> {
+    match workload {
+        Workload::MaxCut(job) => guarded(|| {
+            snc_maxcut::solve_with_cache(&job.graph, &job.spec, sdp_cache)
+                .map(|outcome| wire::solve_response(job, &outcome))
+                .map_err(|e| e.to_string())
+        }),
+        Workload::WeightedMaxCut(job) => guarded(|| {
+            snc_maxcut::solve_weighted(&job.graph, &job.spec)
+                .map(|outcome| wire::weighted_solve_response(job, &outcome))
+                .map_err(|e| e.to_string())
+        }),
+        Workload::Max2Sat(job) => guarded(|| {
+            snc_maxcut::extensions::max2sat::solve_gw_max2sat(
+                &job.instance,
+                &extension_sdp_config(defaults, job.seed),
+                job.samples as usize,
+                // Rounding draws on their own ladder slot, disjoint from
+                // the SDP's slot 1 — mirroring the circuit seed ladder.
+                SplitMix64::derive(job.seed, 2),
+            )
+            .map(|solution| wire::max2sat_response(job, &solution))
+            .map_err(|e| e.to_string())
+        }),
+        Workload::MaxDicut(job) => guarded(|| {
+            snc_maxcut::extensions::maxdicut::solve_gw_maxdicut(
+                &job.graph,
+                &extension_sdp_config(defaults, job.seed),
+                job.samples as usize,
+                SplitMix64::derive(job.seed, 2),
+            )
+            .map(|solution| wire::maxdicut_response(job, &solution))
+            .map_err(|e| e.to_string())
+        }),
     }
 }
 
@@ -434,10 +525,10 @@ fn guarded_solve(
 /// pool on a miss, await, store, answer. A cache hit never touches the
 /// worker pool: the stored body is byte-exact by the wire contract.
 fn solve_sync(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
-    let job = wire::parse_solve_request(body, &shared.defaults)
-        .map_err(|e| HttpError::new(400, e.0))?;
+    let workload =
+        wire::parse_request(body, &shared.defaults).map_err(|e| HttpError::new(400, e.0))?;
     let key = shared.response_cache.as_ref().map(|cache| {
-        let key = shared.response_key(&job);
+        let key = response_key(&workload);
         (Arc::clone(cache), key)
     });
     if let Some((cache, key)) = &key {
@@ -446,11 +537,11 @@ fn solve_sync(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
         }
     }
     let sdp_cache = shared.sdp_cache.clone();
+    let defaults = shared.defaults.clone();
     let ticket = shared
         .pool
         .try_submit(move || {
-            guarded_solve(&job.graph, &job.spec, sdp_cache.as_deref())
-                .map(|outcome| wire::solve_response(&job, &outcome).render())
+            run_workload(&workload, &defaults, sdp_cache.as_deref()).map(|tree| tree.render())
         })
         .map_err(|_| HttpError::new(503, "solver queue is full, retry later"))?;
     match ticket.wait() {
@@ -467,10 +558,10 @@ fn solve_sync(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
 /// `POST /jobs`: parse, record, schedule; the worker finishes the
 /// record. Answers 202 with the job id.
 fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
-    let job = wire::parse_solve_request(body, &shared.defaults)
-        .map_err(|e| HttpError::new(400, e.0))?;
+    let workload =
+        wire::parse_request(body, &shared.defaults).map_err(|e| HttpError::new(400, e.0))?;
     let key = shared.response_cache.as_ref().map(|cache| {
-        let key = shared.response_key(&job);
+        let key = response_key(&workload);
         (Arc::clone(cache), key)
     });
     // Response-cache hit: the job is born finished — the stored body is
@@ -500,12 +591,12 @@ fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
     // `Shared` docs).
     let store = Arc::clone(&shared.store);
     let sdp_cache = shared.sdp_cache.clone();
+    let defaults = shared.defaults.clone();
     let submitted = shared.pool.try_submit(move || {
         store.set_running(id);
-        // guarded_solve contains panics, so the record always reaches a
+        // run_workload contains panics, so the record always reaches a
         // terminal state — a poller can never see `running` forever.
-        let result = guarded_solve(&job.graph, &job.spec, sdp_cache.as_deref())
-            .map(|outcome| wire::solve_response(&job, &outcome))
+        let result = run_workload(&workload, &defaults, sdp_cache.as_deref())
             .map_err(|(_, message)| message);
         if let (Some((cache, key)), Ok(tree)) = (key, &result) {
             cache.insert(key, tree.render());

@@ -1,8 +1,9 @@
 //! The service wire format: JSON solve requests in, JSON results out.
 //!
-//! Requests name a graph (inline edges, edge-list text, a Figure-4
-//! dataset, or a seeded Erdős–Rényi generator), a circuit family, a
-//! sample budget, an optional replica width, and a seed:
+//! A request names exactly one workload. MAXCUT requests name a graph
+//! (inline edges, weighted triples, edge-list text, a Figure-4 dataset,
+//! or a seeded Erdős–Rényi generator), a circuit family, a sample
+//! budget, an optional replica width, and a seed:
 //!
 //! ```json
 //! {
@@ -12,6 +13,41 @@
 //!   "replicas": 4,
 //!   "seed": 42
 //! }
+//! ```
+//!
+//! The annealed family accepts a cooling schedule and Hopfield a step
+//! count — each knob is valid only with its own family:
+//!
+//! ```json
+//! {
+//!   "graph": {"gnp": {"n": 40, "p": 0.3, "seed": 7}},
+//!   "circuit": "lif-annealed",
+//!   "schedule": {"kind": "geometric", "start": 1.0, "end": 0.05},
+//!   "budget": 256,
+//!   "seed": 42
+//! }
+//! ```
+//!
+//! ```json
+//! {
+//!   "graph": {"weighted_edges": [[0, 1, 2.5], [1, 2, -0.5]]},
+//!   "circuit": "hopfield",
+//!   "steps": 16,
+//!   "budget": 64,
+//!   "seed": 42
+//! }
+//! ```
+//!
+//! MAX2SAT and MAXDICUT requests carry their instance under a
+//! `"max2sat"` / `"maxdicut"` key instead of `"graph"` (literals are
+//! signed 1-based variable ids; `budget` counts rounding draws):
+//!
+//! ```json
+//! {"max2sat": {"vars": 3, "clauses": [[1, -2], [2, 3], [-1]]}, "budget": 32, "seed": 7}
+//! ```
+//!
+//! ```json
+//! {"maxdicut": {"n": 4, "arcs": [[0, 1], [1, 2], [2, 3]]}, "budget": 32, "seed": 7}
 //! ```
 //!
 //! Everything renders through [`snc_experiments::json`] — the same
@@ -24,34 +60,48 @@
 use snc_experiments::json::{self, Json};
 use snc_graph::generators::erdos_renyi::gnp;
 use snc_graph::io::edgelist;
-use snc_graph::{EmpiricalDataset, Graph};
-use snc_maxcut::{CircuitFamily, SolveOutcome, SolveSpec};
+use snc_graph::{EmpiricalDataset, Graph, WeightedGraph};
+use snc_maxcut::extensions::max2sat::{Clause, Literal, Max2Sat, Max2SatSolution};
+use snc_maxcut::extensions::maxdicut::{DiGraph, MaxDicutSolution};
+use snc_maxcut::{
+    CircuitFamily, CoolingSchedule, ScheduleKind, SolveOutcome, SolveSpec, WeightedSolveOutcome,
+};
 use snc_neuro::LifParams;
+
+/// Largest accepted weight magnitude anywhere on the wire (edge weights,
+/// clause weights). Keeps every downstream accumulation far from the
+/// overflow-to-infinity regime while accepting any plausible instance.
+pub const MAX_ABS_WEIGHT: f64 = 1e12;
 
 /// Server-side defaults and limits applied while parsing requests.
 #[derive(Clone, Debug)]
 pub struct RequestDefaults {
     /// Replica width when the request omits `"replicas"`.
     pub replicas: usize,
-    /// SDP rank for LIF-GW (the paper's 4).
+    /// SDP rank for the SDP-backed families (the paper's 4).
     pub sdp_rank: usize,
-    /// Membrane parameters for both circuit families.
+    /// Membrane parameters for the LIF circuit families.
     pub lif: LifParams,
     /// Largest accepted `"budget"`.
     pub max_budget: u64,
-    /// Largest accepted vertex count (guards the dense SDP stage).
+    /// Largest accepted vertex/variable count (guards the dense SDP
+    /// stage).
     ///
-    /// Enforced *before* any graph is materialized: inline edge ids,
-    /// declared `"n"`, and generator sizes are all bounded pre-allocation,
-    /// so a tiny request body cannot trigger a huge allocation.
+    /// Enforced *before* any instance is materialized: inline edge ids,
+    /// declared `"n"`/`"vars"`, and generator sizes are all bounded
+    /// pre-allocation, so a tiny request body cannot trigger a huge
+    /// allocation.
     pub max_vertices: usize,
     /// Largest accepted `"replicas"` (per-replica circuit state is
     /// O(n), so an uncapped width is an allocation amplifier).
     pub max_replicas: usize,
+    /// Largest accepted Hopfield `"steps"` per sample (each Euler step
+    /// is O(n + m) work, so the knob multiplies the budget).
+    pub max_hopfield_steps: u64,
 }
 
-/// A parsed, validated solve request: the graph to cut and the fully
-/// resolved spec to dispatch.
+/// A parsed, validated unweighted solve request: the graph to cut and
+/// the fully resolved spec to dispatch.
 #[derive(Clone, Debug)]
 pub struct SolveJob {
     /// The graph built from the request body.
@@ -60,6 +110,98 @@ pub struct SolveJob {
     pub spec: SolveSpec,
     /// A deterministic label of the graph source, echoed in responses.
     pub graph_label: String,
+}
+
+/// A parsed weighted solve request ([`snc_maxcut::solve_weighted()`]'s
+/// input).
+#[derive(Clone, Debug)]
+pub struct WeightedSolveJob {
+    /// The weighted graph built from the request body.
+    pub graph: WeightedGraph,
+    /// The resolved solve spec.
+    pub spec: SolveSpec,
+    /// A deterministic label of the graph source, echoed in responses.
+    pub graph_label: String,
+}
+
+impl WeightedSolveJob {
+    /// A canonical string rendering of the weighted graph for cache
+    /// keying: weights by their exact bit pattern, so byte-equality of
+    /// the string ⇔ bit-equality of the instance.
+    pub fn canonical_graph(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("wgraph:n={};", self.graph.n());
+        for (u, v, w) in self.graph.edges() {
+            let _ = write!(s, "{u}-{v}:{:016x};", w.to_bits());
+        }
+        s
+    }
+}
+
+/// A parsed MAX2SAT request
+/// ([`snc_maxcut::extensions::max2sat::solve_gw_max2sat`]'s input).
+#[derive(Clone, Debug)]
+pub struct Max2SatJob {
+    /// The clause system.
+    pub instance: Max2Sat,
+    /// Rounding draws (the request's `budget`).
+    pub samples: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Max2SatJob {
+    /// A canonical string rendering of the instance for cache keying.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("max2sat:vars={};", self.instance.n_vars);
+        let lit = |l: Literal| format!("{}{}", if l.negated { '-' } else { '+' }, l.var);
+        for c in &self.instance.clauses {
+            s.push_str(&lit(c.a));
+            if let Some(b) = c.b {
+                s.push_str(&lit(b));
+            }
+            let _ = write!(s, ":{:016x};", c.weight.to_bits());
+        }
+        s
+    }
+}
+
+/// A parsed MAXDICUT request
+/// ([`snc_maxcut::extensions::maxdicut::solve_gw_maxdicut`]'s input).
+#[derive(Clone, Debug)]
+pub struct MaxDicutJob {
+    /// The directed graph.
+    pub graph: DiGraph,
+    /// Rounding draws (the request's `budget`).
+    pub samples: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl MaxDicutJob {
+    /// A canonical string rendering of the instance for cache keying.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("maxdicut:n={};", self.graph.n);
+        for &(u, v) in &self.graph.arcs {
+            let _ = write!(s, "{u}-{v};");
+        }
+        s
+    }
+}
+
+/// Every workload the wire format accepts, fully parsed and validated.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// Unweighted MAXCUT through the circuit families.
+    MaxCut(SolveJob),
+    /// Weighted MAXCUT through the circuit families.
+    WeightedMaxCut(WeightedSolveJob),
+    /// MAX2SAT via the GW SDP + rounding extension.
+    Max2Sat(Max2SatJob),
+    /// MAXDICUT via the GW SDP + rounding extension.
+    MaxDicut(MaxDicutJob),
 }
 
 /// A request-rejection message (answered as HTTP 400).
@@ -78,35 +220,85 @@ fn err(message: impl Into<String>) -> WireError {
     WireError(message.into())
 }
 
-/// Parses and validates a solve-request body.
+/// The canonical rendering of family-specific solver knobs for cache
+/// keying: non-empty exactly when the family reads a knob beyond the
+/// common five, with floats by bit pattern.
+pub fn spec_extras(spec: &SolveSpec) -> String {
+    match spec.family {
+        CircuitFamily::LifAnnealed => format!(
+            "schedule={}:{:016x}:{:016x}",
+            spec.schedule.kind().name(),
+            spec.schedule.start().to_bits(),
+            spec.schedule.end().to_bits()
+        ),
+        CircuitFamily::Hopfield => format!("steps={}", spec.hopfield_steps),
+        CircuitFamily::LifGw | CircuitFamily::LifTrevisan => String::new(),
+    }
+}
+
+/// Parses and validates any request body into its workload.
 ///
 /// # Errors
 ///
 /// Returns [`WireError`] (→ HTTP 400) for malformed JSON, unknown keys,
-/// missing/invalid fields, graphs without edges, or limit violations.
+/// missing/invalid fields, empty instances, or limit violations.
+pub fn parse_request(body: &[u8], defaults: &RequestDefaults) -> Result<Workload, WireError> {
+    let text = std::str::from_utf8(body).map_err(|_| err("body is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|e| err(e.to_string()))?;
+    if doc.as_object().is_none() {
+        return Err(err("request body must be a JSON object"));
+    }
+    let named: Vec<&str> = ["graph", "max2sat", "maxdicut"]
+        .into_iter()
+        .filter(|k| doc.get(k).is_some())
+        .collect();
+    match named.as_slice() {
+        ["graph"] => parse_maxcut_request(&doc, defaults),
+        ["max2sat"] => parse_max2sat_request(&doc, defaults).map(Workload::Max2Sat),
+        ["maxdicut"] => parse_maxdicut_request(&doc, defaults).map(Workload::MaxDicut),
+        [] => Err(err(
+            "request must name a workload: one of `graph`, `max2sat`, `maxdicut`",
+        )),
+        _ => Err(err(
+            "request must contain exactly one of `graph`, `max2sat`, `maxdicut`",
+        )),
+    }
+}
+
+/// Parses and validates an unweighted MAXCUT solve-request body.
+///
+/// Thin wrapper over [`parse_request`] for callers that only speak the
+/// original graph workload (the batch CLI, older tests).
+///
+/// # Errors
+///
+/// Everything [`parse_request`] rejects, plus any non-unweighted
+/// workload.
 pub fn parse_solve_request(
     body: &[u8],
     defaults: &RequestDefaults,
 ) -> Result<SolveJob, WireError> {
-    let text = std::str::from_utf8(body).map_err(|_| err("body is not UTF-8"))?;
-    let doc = json::parse(text).map_err(|e| err(e.to_string()))?;
-    let members = doc
-        .as_object()
-        .ok_or_else(|| err("request body must be a JSON object"))?;
+    match parse_request(body, defaults)? {
+        Workload::MaxCut(job) => Ok(job),
+        _ => Err(err("expected an unweighted MAXCUT `graph` request")),
+    }
+}
+
+/// The graph workload: unweighted or weighted MAXCUT.
+fn parse_maxcut_request(
+    doc: &Json,
+    defaults: &RequestDefaults,
+) -> Result<Workload, WireError> {
+    let members = doc.as_object().expect("checked by parse_request");
     for (key, _) in members {
-        if !matches!(key.as_str(), "graph" | "circuit" | "budget" | "replicas" | "seed") {
+        if !matches!(
+            key.as_str(),
+            "graph" | "circuit" | "budget" | "replicas" | "seed" | "schedule" | "steps"
+        ) {
             return Err(err(format!(
-                "unknown key `{key}` (expected graph, circuit, budget, replicas, seed)"
+                "unknown key `{key}` (expected graph, circuit, budget, replicas, seed, schedule, steps)"
             )));
         }
-    }
-
-    let (graph, graph_label) = parse_graph(
-        doc.get("graph").ok_or_else(|| err("missing `graph`"))?,
-        defaults,
-    )?;
-    if graph.m() == 0 {
-        return Err(err("graph has no edges; MAXCUT needs at least one"));
     }
 
     let family = match doc.get("circuit") {
@@ -114,26 +306,51 @@ pub fn parse_solve_request(
         Some(v) => {
             let name = v.as_str().ok_or_else(|| err("`circuit` must be a string"))?;
             CircuitFamily::from_name(name).ok_or_else(|| {
-                err(format!("unknown circuit `{name}` (expected lif-gw or lif-trevisan)"))
+                err(format!(
+                    "unknown circuit `{name}` (expected lif-gw, lif-trevisan, lif-annealed, or hopfield)"
+                ))
             })?
         }
     };
 
-    let budget = doc
-        .get("budget")
-        .ok_or_else(|| err("missing `budget`"))?
-        .as_u64()
-        .ok_or_else(|| err("`budget` must be a non-negative integer"))?;
-    if budget == 0 {
-        return Err(err("`budget` must be ≥ 1"));
-    }
-    if budget > defaults.max_budget {
-        return Err(err(format!(
-            "`budget` {budget} exceeds the server limit of {}",
-            defaults.max_budget
-        )));
-    }
+    // Family-specific knobs: each is valid only with its own family, so
+    // a knob on the wrong family is a rejection, not silent drift.
+    let schedule = match doc.get("schedule") {
+        None => None,
+        Some(_) if family != CircuitFamily::LifAnnealed => {
+            return Err(err(format!(
+                "`schedule` is only valid with circuit `lif-annealed` (got `{}`)",
+                family.name()
+            )))
+        }
+        Some(v) => Some(parse_schedule(v)?),
+    };
+    let hopfield_steps = match doc.get("steps") {
+        None => None,
+        Some(_) if family != CircuitFamily::Hopfield => {
+            return Err(err(format!(
+                "`steps` is only valid with circuit `hopfield` (got `{}`)",
+                family.name()
+            )))
+        }
+        Some(v) => {
+            let steps = v
+                .as_u64()
+                .ok_or_else(|| err("`steps` must be a non-negative integer"))?;
+            if steps == 0 {
+                return Err(err("`steps` must be ≥ 1"));
+            }
+            if steps > defaults.max_hopfield_steps {
+                return Err(err(format!(
+                    "`steps` {steps} exceeds the server limit of {}",
+                    defaults.max_hopfield_steps
+                )));
+            }
+            Some(steps)
+        }
+    };
 
+    let budget = parse_budget(doc, defaults)?;
     let replicas = match doc.get("replicas") {
         None => defaults.replicas,
         Some(v) => {
@@ -152,34 +369,321 @@ pub fn parse_solve_request(
             r
         }
     };
+    let seed = parse_seed(doc)?;
 
-    let seed = match doc.get("seed") {
-        None => 0,
+    let mut spec = SolveSpec {
+        replicas,
+        sdp_rank: defaults.sdp_rank,
+        lif: defaults.lif,
+        ..SolveSpec::new(family, budget, seed)
+    };
+    if let Some(schedule) = schedule {
+        spec.schedule = schedule;
+    }
+    if let Some(steps) = hopfield_steps {
+        spec.hopfield_steps = steps;
+    }
+
+    match parse_graph(
+        doc.get("graph").ok_or_else(|| err("missing `graph`"))?,
+        defaults,
+    )? {
+        ParsedGraph::Unweighted(graph, graph_label) => {
+            if graph.m() == 0 {
+                return Err(err("graph has no edges; MAXCUT needs at least one"));
+            }
+            Ok(Workload::MaxCut(SolveJob { graph, spec, graph_label }))
+        }
+        ParsedGraph::Weighted(graph, graph_label) => {
+            if graph.m() == 0 {
+                return Err(err("graph has no edges; MAXCUT needs at least one"));
+            }
+            if family == CircuitFamily::LifTrevisan && !graph.is_nonnegative() {
+                return Err(err("lif-trevisan requires non-negative edge weights"));
+            }
+            Ok(Workload::WeightedMaxCut(WeightedSolveJob { graph, spec, graph_label }))
+        }
+    }
+}
+
+/// `{"kind": …, "start": …, "end": …}` → a validated cooling schedule.
+fn parse_schedule(value: &Json) -> Result<CoolingSchedule, WireError> {
+    let members = value
+        .as_object()
+        .ok_or_else(|| err("`schedule` must be an object with kind, start, end"))?;
+    for (key, _) in members {
+        if !matches!(key.as_str(), "kind" | "start" | "end") {
+            return Err(err(format!(
+                "unknown key `{key}` in `schedule` (expected kind, start, end)"
+            )));
+        }
+    }
+    let kind_name = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("`schedule.kind` must be a string"))?;
+    let kind = ScheduleKind::from_name(kind_name).ok_or_else(|| {
+        err(format!(
+            "unknown schedule kind `{kind_name}` (expected geometric or linear)"
+        ))
+    })?;
+    let start = value
+        .get("start")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err("`schedule.start` must be a number"))?;
+    let end = value
+        .get("end")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err("`schedule.end` must be a number"))?;
+    CoolingSchedule::new(kind, start, end).map_err(|e| err(format!("invalid schedule: {e}")))
+}
+
+/// The shared `budget` field (samples for the extensions, circuit
+/// samples for MAXCUT).
+fn parse_budget(doc: &Json, defaults: &RequestDefaults) -> Result<u64, WireError> {
+    let budget = doc
+        .get("budget")
+        .ok_or_else(|| err("missing `budget`"))?
+        .as_u64()
+        .ok_or_else(|| err("`budget` must be a non-negative integer"))?;
+    if budget == 0 {
+        return Err(err("`budget` must be ≥ 1"));
+    }
+    if budget > defaults.max_budget {
+        return Err(err(format!(
+            "`budget` {budget} exceeds the server limit of {}",
+            defaults.max_budget
+        )));
+    }
+    Ok(budget)
+}
+
+/// The shared optional `seed` field (defaults to 0).
+fn parse_seed(doc: &Json) -> Result<u64, WireError> {
+    match doc.get("seed") {
+        None => Ok(0),
         Some(v) => v
             .as_u64()
-            .ok_or_else(|| err("`seed` must be a non-negative integer"))?,
-    };
+            .ok_or_else(|| err("`seed` must be a non-negative integer")),
+    }
+}
 
-    Ok(SolveJob {
-        graph,
-        spec: SolveSpec {
-            family,
-            budget,
-            replicas,
-            seed,
-            sdp_rank: defaults.sdp_rank,
-            lif: defaults.lif,
-        },
-        graph_label,
+/// `Json::Int`/`Json::UInt` → `i64` (the JSON layer has no signed
+/// accessor; MAX2SAT literals are the only signed integers on the wire).
+fn json_as_i64(v: &Json) -> Option<i64> {
+    match v {
+        Json::Int(i) => Some(*i),
+        Json::UInt(u) => i64::try_from(*u).ok(),
+        _ => None,
+    }
+}
+
+/// The `max2sat` workload.
+fn parse_max2sat_request(
+    doc: &Json,
+    defaults: &RequestDefaults,
+) -> Result<Max2SatJob, WireError> {
+    let members = doc.as_object().expect("checked by parse_request");
+    for (key, _) in members {
+        if !matches!(key.as_str(), "max2sat" | "budget" | "seed") {
+            return Err(err(format!(
+                "unknown key `{key}` (expected max2sat, budget, seed)"
+            )));
+        }
+    }
+    let inst = doc.get("max2sat").expect("checked by parse_request");
+    let inst_members = inst
+        .as_object()
+        .ok_or_else(|| err("`max2sat` must be an object with vars, clauses"))?;
+    for (key, _) in inst_members {
+        if !matches!(key.as_str(), "vars" | "clauses" | "weights") {
+            return Err(err(format!(
+                "unknown key `{key}` in `max2sat` (expected vars, clauses, weights)"
+            )));
+        }
+    }
+    let vars = inst
+        .get("vars")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| err("`max2sat.vars` must be a non-negative integer"))?;
+    if vars == 0 {
+        return Err(err("`max2sat.vars` must be ≥ 1"));
+    }
+    if vars > defaults.max_vertices {
+        return Err(err(format!(
+            "`max2sat.vars` is {vars}, exceeding the server limit of {}",
+            defaults.max_vertices
+        )));
+    }
+    let clause_items = inst
+        .get("clauses")
+        .and_then(Json::as_array)
+        .ok_or_else(|| err("`max2sat.clauses` must be an array of clauses"))?;
+    if clause_items.is_empty() {
+        return Err(err("`max2sat.clauses` must not be empty"));
+    }
+    let weights: Option<Vec<f64>> = match inst.get("weights") {
+        None => None,
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| err("`max2sat.weights` must be an array of numbers"))?;
+            if items.len() != clause_items.len() {
+                return Err(err(format!(
+                    "`max2sat.weights` has {} entries for {} clauses",
+                    items.len(),
+                    clause_items.len()
+                )));
+            }
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let w = item
+                    .as_f64()
+                    .ok_or_else(|| err("clause weights must be numbers"))?;
+                if !w.is_finite() {
+                    return Err(err("clause weights must be finite"));
+                }
+                if w <= 0.0 {
+                    return Err(err(format!("clause weights must be positive (got {w})")));
+                }
+                if w > MAX_ABS_WEIGHT {
+                    return Err(err(format!(
+                        "clause weight {w} exceeds the magnitude limit of {MAX_ABS_WEIGHT:e}"
+                    )));
+                }
+                out.push(w);
+            }
+            Some(out)
+        }
+    };
+    let mut clauses = Vec::with_capacity(clause_items.len());
+    for (idx, item) in clause_items.iter().enumerate() {
+        let lits = item
+            .as_array()
+            .filter(|l| matches!(l.len(), 1 | 2))
+            .ok_or_else(|| err("each clause must be an array of 1 or 2 literals"))?;
+        let mut parsed = [None, None];
+        for (slot, lit) in lits.iter().enumerate() {
+            let signed = json_as_i64(lit)
+                .ok_or_else(|| err("literals must be signed integers (1-based variable ids)"))?;
+            if signed == 0 {
+                return Err(err("literal 0 is invalid (literals are 1-based)"));
+            }
+            let var = signed.unsigned_abs();
+            if var > vars as u64 {
+                return Err(err(format!(
+                    "literal {signed} names a variable out of range (vars = {vars})"
+                )));
+            }
+            let var = (var - 1) as u32;
+            parsed[slot] = Some(if signed < 0 {
+                Literal::neg(var)
+            } else {
+                Literal::pos(var)
+            });
+        }
+        clauses.push(Clause {
+            a: parsed[0].expect("clauses have ≥ 1 literal"),
+            b: parsed[1],
+            weight: weights.as_ref().map_or(1.0, |w| w[idx]),
+        });
+    }
+    Ok(Max2SatJob {
+        instance: Max2Sat { n_vars: vars, clauses },
+        samples: parse_budget(doc, defaults)?,
+        seed: parse_seed(doc)?,
     })
 }
 
-/// Builds the graph named by the request's `"graph"` value.
-fn parse_graph(
-    value: &Json,
+/// The `maxdicut` workload.
+fn parse_maxdicut_request(
+    doc: &Json,
     defaults: &RequestDefaults,
-) -> Result<(Graph, String), WireError> {
-    let (graph, label) = match value {
+) -> Result<MaxDicutJob, WireError> {
+    let members = doc.as_object().expect("checked by parse_request");
+    for (key, _) in members {
+        if !matches!(key.as_str(), "maxdicut" | "budget" | "seed") {
+            return Err(err(format!(
+                "unknown key `{key}` (expected maxdicut, budget, seed)"
+            )));
+        }
+    }
+    let inst = doc.get("maxdicut").expect("checked by parse_request");
+    let inst_members = inst
+        .as_object()
+        .ok_or_else(|| err("`maxdicut` must be an object with n, arcs"))?;
+    for (key, _) in inst_members {
+        if !matches!(key.as_str(), "n" | "arcs") {
+            return Err(err(format!(
+                "unknown key `{key}` in `maxdicut` (expected n, arcs)"
+            )));
+        }
+    }
+    let n = inst
+        .get("n")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| err("`maxdicut.n` must be a non-negative integer"))?;
+    if n == 0 {
+        return Err(err("`maxdicut.n` must be ≥ 1"));
+    }
+    if n > defaults.max_vertices {
+        return Err(err(format!(
+            "`maxdicut.n` is {n}, exceeding the server limit of {}",
+            defaults.max_vertices
+        )));
+    }
+    let arc_items = inst
+        .get("arcs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| err("`maxdicut.arcs` must be an array of [u, v] arcs"))?;
+    if arc_items.is_empty() {
+        return Err(err("`maxdicut.arcs` must not be empty"));
+    }
+    let mut arcs = Vec::with_capacity(arc_items.len());
+    for item in arc_items {
+        let pair = item
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| err("each arc must be a [u, v] pair"))?;
+        let u = pair[0]
+            .as_u64()
+            .ok_or_else(|| err("arc endpoints must be non-negative integers"))?;
+        let v = pair[1]
+            .as_u64()
+            .ok_or_else(|| err("arc endpoints must be non-negative integers"))?;
+        // Bound-check *before* `DiGraph::new` — it panics on
+        // out-of-range endpoints, and a panic must never be reachable
+        // from the wire.
+        for endpoint in [u, v] {
+            if endpoint >= n as u64 {
+                return Err(err(format!(
+                    "arc endpoint {endpoint} is out of range (n = {n})"
+                )));
+            }
+        }
+        arcs.push((u as u32, v as u32));
+    }
+    let graph = DiGraph::new(n, &arcs);
+    if graph.arcs.is_empty() {
+        return Err(err("maxdicut instance has no arcs after dropping self-loops"));
+    }
+    Ok(MaxDicutJob {
+        graph,
+        samples: parse_budget(doc, defaults)?,
+        seed: parse_seed(doc)?,
+    })
+}
+
+/// A parsed `"graph"` value: the seed's unweighted sources plus inline
+/// weighted triples.
+enum ParsedGraph {
+    Unweighted(Graph, String),
+    Weighted(WeightedGraph, String),
+}
+
+/// Builds the graph named by the request's `"graph"` value.
+fn parse_graph(value: &Json, defaults: &RequestDefaults) -> Result<ParsedGraph, WireError> {
+    let parsed = match value {
         Json::Str(name) => {
             let dataset = EmpiricalDataset::all()
                 .into_iter()
@@ -188,42 +692,37 @@ fn parse_graph(
             let graph = dataset
                 .load()
                 .map_err(|e| err(format!("failed to build dataset `{name}`: {e}")))?;
-            (graph, format!("dataset:{name}"))
+            ParsedGraph::Unweighted(graph, format!("dataset:{name}"))
         }
         Json::Obj(members) => {
             // Strict like the top level: an unknown (or misplaced) key is
             // a rejection, not silent drift — a mis-cased `"N"` must not
             // quietly solve a differently-shaped graph.
+            let sized = value.get("edges").is_some() || value.get("weighted_edges").is_some();
             for (key, _) in members {
                 match key.as_str() {
-                    "edges" | "edgelist" | "gnp" => {}
-                    "n" if value.get("edges").is_some() => {}
+                    "edges" | "edgelist" | "gnp" | "weighted_edges" => {}
+                    "n" if sized => {}
                     "n" => {
                         return Err(err(
-                            "`n` is only valid alongside `edges` (edge lists and gnp carry their own size)",
+                            "`n` is only valid alongside `edges` or `weighted_edges` (edge lists and gnp carry their own size)",
                         ))
                     }
                     other => {
                         return Err(err(format!(
-                            "unknown key `{other}` in `graph` (expected edges, edgelist, gnp, or n with edges)"
+                            "unknown key `{other}` in `graph` (expected edges, weighted_edges, edgelist, gnp, or n with edges)"
                         )))
                     }
                 }
             }
-            let keys: Vec<&str> = ["edges", "edgelist", "gnp"]
+            let keys: Vec<&str> = ["edges", "edgelist", "gnp", "weighted_edges"]
                 .into_iter()
                 .filter(|k| value.get(k).is_some())
                 .collect();
             match keys.as_slice() {
                 ["edges"] => {
                     let pairs = parse_edge_pairs(value.get("edges").expect("key present"))?;
-                    let declared_n = match value.get("n") {
-                        None => None,
-                        Some(v) => Some(
-                            v.as_usize()
-                                .ok_or_else(|| err("`n` must be a non-negative integer"))?,
-                        ),
-                    };
+                    let declared_n = parse_declared_n(value)?;
                     // Bound *before* building: a tiny body naming a huge
                     // id (or declaring a huge n) must not allocate.
                     let max_id = pairs.iter().map(|&(u, v)| u.max(v)).max().unwrap_or(0);
@@ -232,7 +731,23 @@ fn parse_graph(
                     check_vertices(implied_n, defaults)?;
                     let graph = edgelist::from_pairs(&pairs, declared_n)
                         .map_err(|e| err(format!("invalid edges: {e}")))?;
-                    (graph, "edges".to_string())
+                    ParsedGraph::Unweighted(graph, "edges".to_string())
+                }
+                ["weighted_edges"] => {
+                    let triples =
+                        parse_weighted_triples(value.get("weighted_edges").expect("key present"))?;
+                    let declared_n = parse_declared_n(value)?;
+                    let max_id = triples.iter().map(|&(u, v, _)| u.max(v)).max().unwrap_or(0);
+                    let implied_n = declared_n
+                        .unwrap_or_else(|| max_id.saturating_add(1).min(usize::MAX as u64) as usize);
+                    check_vertices(implied_n, defaults)?;
+                    let edges: Vec<(u32, u32, f64)> = triples
+                        .into_iter()
+                        .map(|(u, v, w)| (u as u32, v as u32, w))
+                        .collect();
+                    let graph = WeightedGraph::from_weighted_edges(implied_n, &edges)
+                        .map_err(|e| err(format!("invalid weighted edges: {e}")))?;
+                    ParsedGraph::Weighted(graph, "weighted-edges".to_string())
                 }
                 ["edgelist"] => {
                     let text = value
@@ -247,7 +762,7 @@ fn parse_graph(
                     let graph = raw
                         .into_graph()
                         .map_err(|e| err(format!("invalid edge list: {e}")))?;
-                    (graph, "edgelist".to_string())
+                    ParsedGraph::Unweighted(graph, "edgelist".to_string())
                 }
                 ["gnp"] => {
                     let spec = value.get("gnp").expect("key present");
@@ -278,29 +793,43 @@ fn parse_graph(
                     let graph = gnp(n, p, seed)
                         .map_err(|e| err(format!("invalid gnp parameters: {e}")))?;
                     // `p` formats deterministically (shortest round-trip).
-                    (graph, format!("gnp(n={n},p={p},seed={seed})"))
+                    ParsedGraph::Unweighted(graph, format!("gnp(n={n},p={p},seed={seed})"))
                 }
                 [] => {
                     return Err(err(
-                        "`graph` object must contain one of `edges`, `edgelist`, `gnp`",
+                        "`graph` object must contain one of `edges`, `weighted_edges`, `edgelist`, `gnp`",
                     ))
                 }
                 _ => {
                     return Err(err(
-                        "`graph` object must contain exactly one of `edges`, `edgelist`, `gnp`",
+                        "`graph` object must contain exactly one of `edges`, `weighted_edges`, `edgelist`, `gnp`",
                     ))
                 }
             }
         }
         _ => {
             return Err(err(
-                "`graph` must be a dataset name or an object with `edges`, `edgelist`, or `gnp`",
+                "`graph` must be a dataset name or an object with `edges`, `weighted_edges`, `edgelist`, or `gnp`",
             ))
         }
     };
     // Backstop; every arm above already bound-checked pre-allocation.
-    check_vertices(graph.n(), defaults)?;
-    Ok((graph, label))
+    match &parsed {
+        ParsedGraph::Unweighted(g, _) => check_vertices(g.n(), defaults)?,
+        ParsedGraph::Weighted(g, _) => check_vertices(g.n(), defaults)?,
+    }
+    Ok(parsed)
+}
+
+/// The optional `"n"` alongside inline edges.
+fn parse_declared_n(value: &Json) -> Result<Option<usize>, WireError> {
+    match value.get("n") {
+        None => Ok(None),
+        Some(v) => Ok(Some(
+            v.as_usize()
+                .ok_or_else(|| err("`n` must be a non-negative integer"))?,
+        )),
+    }
 }
 
 /// The shared pre-allocation vertex bound.
@@ -336,7 +865,42 @@ fn parse_edge_pairs(value: &Json) -> Result<Vec<(u64, u64)>, WireError> {
         .collect()
 }
 
-/// Renders a solve outcome as the deterministic response body.
+fn parse_weighted_triples(value: &Json) -> Result<Vec<(u64, u64, f64)>, WireError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| err("`weighted_edges` must be an array of [u, v, w] triples"))?;
+    items
+        .iter()
+        .map(|item| {
+            let triple = item
+                .as_array()
+                .filter(|t| t.len() == 3)
+                .ok_or_else(|| err("each weighted edge must be a [u, v, w] triple"))?;
+            let u = triple[0]
+                .as_u64()
+                .ok_or_else(|| err("edge endpoints must be non-negative integers"))?;
+            let v = triple[1]
+                .as_u64()
+                .ok_or_else(|| err("edge endpoints must be non-negative integers"))?;
+            let w = triple[2]
+                .as_f64()
+                .ok_or_else(|| err("edge weights must be numbers"))?;
+            // `1e999` parses to infinity, so "is a number" is not enough.
+            if !w.is_finite() {
+                return Err(err("edge weights must be finite"));
+            }
+            if w.abs() > MAX_ABS_WEIGHT {
+                return Err(err(format!(
+                    "edge weight {w} exceeds the magnitude limit of {MAX_ABS_WEIGHT:e}"
+                )));
+            }
+            Ok((u, v, w))
+        })
+        .collect()
+}
+
+/// Renders an unweighted solve outcome as the deterministic response
+/// body.
 ///
 /// Pure function of `(job, outcome)`: no timestamps, ids, or timing —
 /// identical seeded requests render byte-identical bodies.
@@ -385,6 +949,93 @@ pub fn solve_response(job: &SolveJob, outcome: &SolveOutcome) -> Json {
     ])
 }
 
+/// Renders a weighted solve outcome as the deterministic response body
+/// (same shape as [`solve_response`] with float-valued cuts and a
+/// `"weighted": true` marker).
+pub fn weighted_solve_response(job: &WeightedSolveJob, outcome: &WeightedSolveOutcome) -> Json {
+    let partition: Vec<Json> = outcome
+        .best_cut
+        .sides()
+        .iter()
+        .map(|&s| Json::UInt(u64::from(s == 1)))
+        .collect();
+    Json::Obj(vec![
+        ("circuit".into(), Json::str(job.spec.family.name())),
+        ("graph".into(), Json::str(job.graph_label.clone())),
+        ("n".into(), Json::UInt(job.graph.n() as u64)),
+        ("m".into(), Json::UInt(job.graph.m() as u64)),
+        ("weighted".into(), Json::Bool(true)),
+        ("budget".into(), Json::UInt(job.spec.budget)),
+        ("replicas".into(), Json::UInt(outcome.replicas as u64)),
+        ("samples".into(), Json::UInt(outcome.samples)),
+        ("seed".into(), Json::UInt(job.spec.seed)),
+        ("best_cut".into(), Json::Num(outcome.best_value)),
+        ("partition".into(), Json::Arr(partition)),
+        (
+            "sdp_bound".into(),
+            outcome.sdp_bound.map_or(Json::Null, Json::Num),
+        ),
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                (
+                    "checkpoints".into(),
+                    Json::Arr(
+                        outcome
+                            .trace
+                            .checkpoints
+                            .iter()
+                            .map(|&c| Json::UInt(c))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "best".into(),
+                    Json::Arr(outcome.trace.best.iter().map(|&b| Json::Num(b)).collect()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Renders a MAX2SAT solution as the deterministic response body.
+pub fn max2sat_response(job: &Max2SatJob, solution: &Max2SatSolution) -> Json {
+    let assignment: Vec<Json> = solution
+        .assignment
+        .iter()
+        .map(|&b| Json::UInt(u64::from(b)))
+        .collect();
+    Json::Obj(vec![
+        ("workload".into(), Json::str("max2sat")),
+        ("vars".into(), Json::UInt(job.instance.n_vars as u64)),
+        ("clauses".into(), Json::UInt(job.instance.clauses.len() as u64)),
+        ("budget".into(), Json::UInt(job.samples)),
+        ("seed".into(), Json::UInt(job.seed)),
+        ("value".into(), Json::Num(solution.value)),
+        ("sdp_bound".into(), Json::Num(solution.sdp_bound)),
+        ("assignment".into(), Json::Arr(assignment)),
+    ])
+}
+
+/// Renders a MAXDICUT solution as the deterministic response body.
+pub fn maxdicut_response(job: &MaxDicutJob, solution: &MaxDicutSolution) -> Json {
+    let in_s: Vec<Json> = solution
+        .in_s
+        .iter()
+        .map(|&b| Json::UInt(u64::from(b)))
+        .collect();
+    Json::Obj(vec![
+        ("workload".into(), Json::str("maxdicut")),
+        ("n".into(), Json::UInt(job.graph.n as u64)),
+        ("arcs".into(), Json::UInt(job.graph.arcs.len() as u64)),
+        ("budget".into(), Json::UInt(job.samples)),
+        ("seed".into(), Json::UInt(job.seed)),
+        ("value".into(), Json::UInt(solution.value)),
+        ("sdp_bound".into(), Json::Num(solution.sdp_bound)),
+        ("in_s".into(), Json::Arr(in_s)),
+    ])
+}
+
 /// Renders an error body (`{"error": …}`).
 pub fn error_body(message: &str) -> String {
     Json::Obj(vec![("error".into(), Json::str(message))]).render()
@@ -402,6 +1053,7 @@ mod tests {
             max_budget: 1 << 20,
             max_vertices: 10_000,
             max_replicas: 64,
+            max_hopfield_steps: 4096,
         }
     }
 
@@ -440,11 +1092,88 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_annealed_family_with_a_schedule() {
+        let body = br#"{"graph": {"gnp": {"n": 10, "p": 0.5}}, "circuit": "lif-annealed",
+                        "schedule": {"kind": "linear", "start": 2.0, "end": 0.5}, "budget": 8}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!(job.spec.family, CircuitFamily::LifAnnealed);
+        assert_eq!(job.spec.schedule.kind(), ScheduleKind::Linear);
+        assert_eq!(job.spec.schedule.start(), 2.0);
+        assert_eq!(job.spec.schedule.end(), 0.5);
+
+        // Without a schedule the solve-spec default applies.
+        let body = br#"{"graph": {"gnp": {"n": 10, "p": 0.5}}, "circuit": "lif-annealed", "budget": 8}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!(job.spec.schedule, CoolingSchedule::default());
+    }
+
+    #[test]
+    fn parses_the_hopfield_family_with_steps() {
+        let body = br#"{"graph": {"gnp": {"n": 10, "p": 0.5}}, "circuit": "hopfield",
+                        "steps": 16, "budget": 8}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!(job.spec.family, CircuitFamily::Hopfield);
+        assert_eq!(job.spec.hopfield_steps, 16);
+
+        let body = br#"{"graph": {"gnp": {"n": 10, "p": 0.5}}, "circuit": "hopfield", "budget": 8}"#;
+        let job = parse_solve_request(body, &defaults()).unwrap();
+        assert_eq!(job.spec.hopfield_steps, SolveSpec::new(CircuitFamily::Hopfield, 8, 0).hopfield_steps);
+    }
+
+    #[test]
+    fn parses_weighted_edges_into_a_weighted_workload() {
+        let body = br#"{"graph": {"weighted_edges": [[0, 1, 2.5], [1, 2, -0.5]]}, "budget": 8}"#;
+        let job = match parse_request(body, &defaults()).unwrap() {
+            Workload::WeightedMaxCut(job) => job,
+            other => panic!("expected a weighted workload, got {other:?}"),
+        };
+        assert_eq!((job.graph.n(), job.graph.m()), (3, 2));
+        assert_eq!(job.graph_label, "weighted-edges");
+        let canonical = job.canonical_graph();
+        assert!(canonical.starts_with("wgraph:n=3;"));
+        assert!(canonical.contains(&format!("{:016x}", 2.5f64.to_bits())));
+
+        // Declared n pads isolated vertices, same as unweighted edges.
+        let body = br#"{"graph": {"weighted_edges": [[0, 1, 1.0]], "n": 5}, "budget": 8}"#;
+        match parse_request(body, &defaults()).unwrap() {
+            Workload::WeightedMaxCut(job) => assert_eq!(job.graph.n(), 5),
+            other => panic!("expected a weighted workload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_max2sat_and_maxdicut_workloads() {
+        let body = br#"{"max2sat": {"vars": 3, "clauses": [[1, -2], [2, 3], [-1]],
+                        "weights": [1.0, 2.0, 0.5]}, "budget": 16, "seed": 7}"#;
+        let job = match parse_request(body, &defaults()).unwrap() {
+            Workload::Max2Sat(job) => job,
+            other => panic!("expected max2sat, got {other:?}"),
+        };
+        assert_eq!(job.instance.n_vars, 3);
+        assert_eq!(job.instance.clauses.len(), 3);
+        assert_eq!(job.instance.clauses[0].a, Literal::pos(0));
+        assert_eq!(job.instance.clauses[0].b, Some(Literal::neg(1)));
+        assert_eq!(job.instance.clauses[2].b, None);
+        assert_eq!(job.instance.clauses[1].weight, 2.0);
+        assert_eq!((job.samples, job.seed), (16, 7));
+        assert!(job.canonical().starts_with("max2sat:vars=3;+0-1:"));
+
+        let body = br#"{"maxdicut": {"n": 4, "arcs": [[0, 1], [1, 2], [2, 2]]}, "budget": 16}"#;
+        let job = match parse_request(body, &defaults()).unwrap() {
+            Workload::MaxDicut(job) => job,
+            other => panic!("expected maxdicut, got {other:?}"),
+        };
+        assert_eq!(job.graph.n, 4);
+        assert_eq!(job.graph.arcs.len(), 2, "self-loop dropped");
+        assert_eq!(job.canonical(), "maxdicut:n=4;0-1;1-2;");
+    }
+
+    #[test]
     fn rejects_bad_requests_with_messages() {
         let cases: &[(&[u8], &str)] = &[
             (b"not json", "invalid JSON"),
             (br#"[1,2]"#, "must be a JSON object"),
-            (br#"{"budget": 8}"#, "missing `graph`"),
+            (br#"{"budget": 8}"#, "must name a workload"),
             (br#"{"graph": "road-chesapeake"}"#, "missing `budget`"),
             (br#"{"graph": "no-such-graph", "budget": 8}"#, "unknown dataset"),
             (br#"{"graph": "road-chesapeake", "budget": 0}"#, "`budget` must be ≥ 1"),
@@ -512,9 +1241,153 @@ mod tests {
                 br#"{"graph": {"gnp": {"n": 10, "p": 0.5, "Seed": 3}}, "budget": 8}"#,
                 "unknown key `Seed` in `gnp`",
             ),
+            // Family knobs: valid only with their own family, strict at
+            // every nesting level, bounded like everything else.
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8,
+                     "schedule": {"kind": "geometric", "start": 1.0, "end": 0.1}}"#,
+                "`schedule` is only valid with circuit `lif-annealed`",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "circuit": "lif-annealed",
+                     "schedule": {"kind": "cosine", "start": 1.0, "end": 0.1}}"#,
+                "unknown schedule kind `cosine`",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "circuit": "lif-annealed",
+                     "schedule": {"kind": "linear", "start": 1.0, "end": 0.1, "warmup": 2}}"#,
+                "unknown key `warmup` in `schedule`",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "circuit": "lif-annealed",
+                     "schedule": {"kind": "linear", "start": -1.0, "end": 0.1}}"#,
+                "invalid schedule",
+            ),
+            // Overflowing numeric literals die in the JSON layer, so a
+            // non-finite schedule endpoint (or edge weight) can never
+            // reach the parsers; the in-parser finite checks behind this
+            // are defense in depth.
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "circuit": "lif-annealed",
+                     "schedule": {"kind": "linear", "start": 1e999, "end": 0.1}}"#,
+                "invalid number",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "steps": 4}"#,
+                "`steps` is only valid with circuit `hopfield`",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "circuit": "hopfield", "steps": 0}"#,
+                "`steps` must be ≥ 1",
+            ),
+            (
+                br#"{"graph": "road-chesapeake", "budget": 8, "circuit": "hopfield", "steps": 99999999}"#,
+                "`steps` 99999999 exceeds the server limit",
+            ),
+            // Weighted-edge guards: finiteness, magnitude, shape, and
+            // the family constraint all reject before any solve starts.
+            (
+                br#"{"graph": {"weighted_edges": [[0, 1, 1e999]]}, "budget": 8}"#,
+                "invalid number",
+            ),
+            (
+                br#"{"graph": {"weighted_edges": [[0, 1, 1e13]]}, "budget": 8}"#,
+                "exceeds the magnitude limit",
+            ),
+            (
+                br#"{"graph": {"weighted_edges": [[0, 1]]}, "budget": 8}"#,
+                "[u, v, w] triple",
+            ),
+            (
+                br#"{"graph": {"weighted_edges": [[0, 1, "x"]]}, "budget": 8}"#,
+                "edge weights must be numbers",
+            ),
+            (
+                br#"{"graph": {"weighted_edges": [[0, 4294967294, 1.0]]}, "budget": 8}"#,
+                "exceeding the server limit",
+            ),
+            (
+                br#"{"graph": {"weighted_edges": []}, "budget": 8}"#,
+                "no edges",
+            ),
+            (
+                br#"{"graph": {"weighted_edges": [[0, 1, -1.0]]}, "budget": 8, "circuit": "lif-trevisan"}"#,
+                "lif-trevisan requires non-negative edge weights",
+            ),
+            // MAX2SAT guards.
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": []}, "budget": 8}"#,
+                "`max2sat.clauses` must not be empty",
+            ),
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": [[0]]}, "budget": 8}"#,
+                "literal 0 is invalid",
+            ),
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": [[3]]}, "budget": 8}"#,
+                "out of range",
+            ),
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": [[1, -2, 1]]}, "budget": 8}"#,
+                "1 or 2 literals",
+            ),
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": [[1]], "weights": [1.0, 2.0]}, "budget": 8}"#,
+                "2 entries for 1 clauses",
+            ),
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": [[1]], "weights": [0.0]}, "budget": 8}"#,
+                "clause weights must be positive",
+            ),
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": [[1]], "weights": [1e999]}, "budget": 8}"#,
+                "invalid number",
+            ),
+            (
+                br#"{"max2sat": {"vars": 99999999, "clauses": [[1]]}, "budget": 8}"#,
+                "exceeding the server limit",
+            ),
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": [[1]], "extra": 1}, "budget": 8}"#,
+                "unknown key `extra` in `max2sat`",
+            ),
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": [[1]]}, "budget": 8, "circuit": "lif-gw"}"#,
+                "unknown key `circuit` (expected max2sat, budget, seed)",
+            ),
+            (
+                br#"{"max2sat": {"vars": 2, "clauses": [[1]]}, "graph": "road-chesapeake", "budget": 8}"#,
+                "exactly one of `graph`, `max2sat`, `maxdicut`",
+            ),
+            // MAXDICUT guards — out-of-range arcs reject *before* the
+            // panicking constructor.
+            (
+                br#"{"maxdicut": {"n": 3, "arcs": [[0, 5]]}, "budget": 8}"#,
+                "arc endpoint 5 is out of range",
+            ),
+            (
+                br#"{"maxdicut": {"n": 3, "arcs": []}, "budget": 8}"#,
+                "`maxdicut.arcs` must not be empty",
+            ),
+            (
+                br#"{"maxdicut": {"n": 3, "arcs": [[1, 1]]}, "budget": 8}"#,
+                "no arcs after dropping self-loops",
+            ),
+            (
+                br#"{"maxdicut": {"n": 99999999, "arcs": [[0, 1]]}, "budget": 8}"#,
+                "exceeding the server limit",
+            ),
+            (
+                br#"{"maxdicut": {"n": 3, "arcs": [[0, 1]], "p": 0.5}, "budget": 8}"#,
+                "unknown key `p` in `maxdicut`",
+            ),
+            (
+                br#"{"maxdicut": {"n": 3, "arcs": [[0, 1]]}, "budget": 8, "replicas": 2}"#,
+                "unknown key `replicas` (expected maxdicut, budget, seed)",
+            ),
         ];
         for (body, needle) in cases {
-            let e = parse_solve_request(body, &defaults()).unwrap_err();
+            let e = parse_request(body, &defaults()).unwrap_err();
             assert!(
                 e.0.contains(needle),
                 "expected {needle:?} in error for {:?}, got {:?}",
@@ -559,6 +1432,112 @@ mod tests {
             .collect();
         let cut = snc_graph::CutAssignment::from_sides(sides);
         assert_eq!(cut.cut_value(&job.graph), outcome.best_value);
+    }
+
+    #[test]
+    fn weighted_response_rendering_is_deterministic_and_consistent() {
+        let body = br#"{"graph": {"weighted_edges": [[0,1,2.0],[1,2,0.5],[2,0,1.25],[2,3,3.0]]},
+                        "budget": 16, "seed": 5}"#;
+        let job = match parse_request(body, &defaults()).unwrap() {
+            Workload::WeightedMaxCut(job) => job,
+            other => panic!("expected weighted, got {other:?}"),
+        };
+        let outcome = snc_maxcut::solve_weighted(&job.graph, &job.spec).unwrap();
+        let a = weighted_solve_response(&job, &outcome).render();
+        let b = weighted_solve_response(
+            &job,
+            &snc_maxcut::solve_weighted(&job.graph, &job.spec).unwrap(),
+        )
+        .render();
+        assert_eq!(a, b, "identical request ⇒ identical body");
+        let parsed = snc_experiments::json::parse(&a).unwrap();
+        assert_eq!(parsed.get("weighted").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("best_cut").unwrap().as_f64(),
+            Some(outcome.best_value)
+        );
+        // The partition in the body achieves the reported weighted value.
+        let sides: Vec<i8> = parsed
+            .get("partition")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| if s.as_u64() == Some(1) { 1 } else { -1 })
+            .collect();
+        let cut = snc_graph::CutAssignment::from_sides(sides);
+        assert!((job.graph.cut_value(&cut) - outcome.best_value).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn extension_responses_are_deterministic() {
+        use snc_linalg::SdpConfig;
+
+        let body = br#"{"max2sat": {"vars": 3, "clauses": [[1, -2], [2, 3], [-1]]},
+                        "budget": 8, "seed": 7}"#;
+        let job = match parse_request(body, &defaults()).unwrap() {
+            Workload::Max2Sat(job) => job,
+            other => panic!("expected max2sat, got {other:?}"),
+        };
+        let cfg = SdpConfig { rank: 4, seed: 1, ..SdpConfig::default() };
+        let sol = snc_maxcut::extensions::max2sat::solve_gw_max2sat(
+            &job.instance,
+            &cfg,
+            job.samples as usize,
+            job.seed,
+        )
+        .unwrap();
+        let a = max2sat_response(&job, &sol).render();
+        let sol2 = snc_maxcut::extensions::max2sat::solve_gw_max2sat(
+            &job.instance,
+            &cfg,
+            job.samples as usize,
+            job.seed,
+        )
+        .unwrap();
+        assert_eq!(a, max2sat_response(&job, &sol2).render());
+        let parsed = snc_experiments::json::parse(&a).unwrap();
+        assert_eq!(parsed.get("workload").and_then(Json::as_str), Some("max2sat"));
+        assert_eq!(
+            parsed.get("assignment").unwrap().as_array().unwrap().len(),
+            3
+        );
+
+        let body = br#"{"maxdicut": {"n": 4, "arcs": [[0,1],[1,2],[2,3],[3,0]]}, "budget": 8}"#;
+        let job = match parse_request(body, &defaults()).unwrap() {
+            Workload::MaxDicut(job) => job,
+            other => panic!("expected maxdicut, got {other:?}"),
+        };
+        let sol = snc_maxcut::extensions::maxdicut::solve_gw_maxdicut(
+            &job.graph,
+            &cfg,
+            job.samples as usize,
+            job.seed,
+        )
+        .unwrap();
+        let rendered = maxdicut_response(&job, &sol).render();
+        let parsed = snc_experiments::json::parse(&rendered).unwrap();
+        assert_eq!(parsed.get("value").unwrap().as_u64(), Some(sol.value));
+        assert_eq!(parsed.get("in_s").unwrap().as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn spec_extras_distinguish_family_knobs() {
+        let base = SolveSpec::new(CircuitFamily::LifGw, 8, 0);
+        assert_eq!(spec_extras(&base), "", "common families carry no extras");
+
+        let mut annealed = SolveSpec::new(CircuitFamily::LifAnnealed, 8, 0);
+        let default_extras = spec_extras(&annealed);
+        assert!(default_extras.starts_with("schedule=geometric:"));
+        annealed.schedule = CoolingSchedule::linear(1.0, 0.05).unwrap();
+        assert_ne!(spec_extras(&annealed), default_extras, "kind is keyed");
+        annealed.schedule = CoolingSchedule::geometric(1.0, 0.06).unwrap();
+        assert_ne!(spec_extras(&annealed), default_extras, "endpoints are keyed");
+
+        let mut hopfield = SolveSpec::new(CircuitFamily::Hopfield, 8, 0);
+        assert_eq!(spec_extras(&hopfield), "steps=8");
+        hopfield.hopfield_steps = 9;
+        assert_eq!(spec_extras(&hopfield), "steps=9");
     }
 
     #[test]

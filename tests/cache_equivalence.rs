@@ -162,6 +162,92 @@ fn tcp_replays_and_disabled_caches_are_byte_identical() {
     uncached.shutdown();
 }
 
+/// The companion families ride the response cache but never touch the
+/// SDP cache: LIF-annealed solves its Gram factors inline (the cooling
+/// schedule perturbs sampling, so factor reuse is pointless across
+/// schedules), and Hopfield needs no SDP at all. `/healthz` arithmetic
+/// must show response-cache activity with the SDP counters frozen.
+#[test]
+fn companion_families_use_the_response_cache_but_never_the_sdp_cache() {
+    let handle = start(64, 1 << 20);
+    let addr = handle.addr();
+    let corpus = [
+        r#"{"graph": "road-chesapeake", "circuit": "lif-annealed", "budget": 24, "seed": 3, "schedule": {"kind": "geometric", "start": 1.5, "end": 0.1}}"#,
+        r#"{"graph": "road-chesapeake", "circuit": "hopfield", "budget": 24, "seed": 3, "steps": 6}"#,
+        r#"{"graph": {"edges": [[0,1],[1,2],[2,3],[3,0]]}, "circuit": "lif-annealed", "budget": 12, "seed": 9}"#,
+        r#"{"graph": {"edges": [[0,1],[1,2],[2,0]]}, "circuit": "hopfield", "budget": 12, "seed": 9}"#,
+    ];
+
+    for request in corpus {
+        let (s0, cold) = roundtrip(addr, "POST", "/solve", request);
+        let (s1, warm) = roundtrip(addr, "POST", "/solve", request);
+        assert_eq!((s0, s1), (200, 200), "{request}");
+        assert_eq!(cold, warm, "cache hit diverged for {request}");
+    }
+
+    let (_, health) = roundtrip(addr, "GET", "/healthz", "");
+    let doc = snc_experiments::json::parse(&health).expect("healthz is JSON");
+    let rc = doc.get("response_cache").expect("response_cache gauge");
+    let n = corpus.len() as u64;
+    assert_eq!(rc.get("hits").unwrap().as_u64(), Some(n));
+    assert_eq!(rc.get("misses").unwrap().as_u64(), Some(n));
+    assert_eq!(rc.get("entries").unwrap().as_u64(), Some(n));
+    // Neither companion family consulted the SDP cache at all.
+    let sdp = doc.get("sdp_cache").expect("sdp_cache gauge");
+    assert_eq!(sdp.get("enabled").unwrap().as_bool(), Some(true));
+    assert_eq!(sdp.get("hits").unwrap().as_u64(), Some(0));
+    assert_eq!(sdp.get("misses").unwrap().as_u64(), Some(0));
+    assert_eq!(sdp.get("entries").unwrap().as_u64(), Some(0));
+    handle.shutdown();
+}
+
+/// Schedule and step knobs are part of cache identity: requests that
+/// differ only in those knobs must miss independently (four distinct
+/// cache entries, zero cross-hits) and then replay their own bodies.
+#[test]
+fn family_knobs_are_part_of_the_cache_key() {
+    let handle = start(64, 1 << 20);
+    let addr = handle.addr();
+    // Two pairs differing only in a family knob: default vs explicit
+    // schedule, shallow vs deep relaxation.
+    let corpus = [
+        r#"{"graph": "road-chesapeake", "circuit": "lif-annealed", "budget": 24, "seed": 5}"#,
+        r#"{"graph": "road-chesapeake", "circuit": "lif-annealed", "budget": 24, "seed": 5, "schedule": {"kind": "linear", "start": 2.0, "end": 0.01}}"#,
+        r#"{"graph": "road-chesapeake", "circuit": "hopfield", "budget": 24, "seed": 5, "steps": 2}"#,
+        r#"{"graph": "road-chesapeake", "circuit": "hopfield", "budget": 24, "seed": 5, "steps": 24}"#,
+    ];
+    let bodies: Vec<String> = corpus
+        .iter()
+        .map(|request| {
+            let (status, body) = roundtrip(addr, "POST", "/solve", request);
+            assert_eq!(status, 200, "{request}");
+            body
+        })
+        .collect();
+
+    // Four requests, four misses: had a knob been dropped from the key,
+    // the second of a pair would have cross-hit the first.
+    let (_, health) = roundtrip(addr, "GET", "/healthz", "");
+    let doc = snc_experiments::json::parse(&health).expect("healthz is JSON");
+    let rc = doc.get("response_cache").expect("response_cache gauge");
+    let n = corpus.len() as u64;
+    assert_eq!(rc.get("hits").unwrap().as_u64(), Some(0));
+    assert_eq!(rc.get("misses").unwrap().as_u64(), Some(n));
+    assert_eq!(rc.get("entries").unwrap().as_u64(), Some(n));
+
+    // Each replay hits its own entry, byte for byte.
+    for (request, body) in corpus.iter().zip(&bodies) {
+        let (status, replay) = roundtrip(addr, "POST", "/solve", request);
+        assert_eq!(status, 200);
+        assert_eq!(&replay, body, "replay diverged for {request}");
+    }
+    let (_, health) = roundtrip(addr, "GET", "/healthz", "");
+    let doc = snc_experiments::json::parse(&health).unwrap();
+    let rc = doc.get("response_cache").unwrap();
+    assert_eq!(rc.get("hits").unwrap().as_u64(), Some(n));
+    handle.shutdown();
+}
+
 #[test]
 fn async_jobs_replay_from_the_response_cache() {
     let handle = start(64, 1 << 20);

@@ -135,7 +135,7 @@ fn async_jobs_match_sync_results_and_errors_are_mapped() {
     assert_eq!(status, 405);
     let (status, body) = roundtrip(addr, "POST", "/solve", "{\"budget\": 4}");
     assert_eq!(status, 400);
-    assert!(body.contains("missing `graph`"), "got {body}");
+    assert!(body.contains("must name a workload"), "got {body}");
     let (status, _) = roundtrip(addr, "GET", "/jobs/99999", "");
     assert_eq!(status, 404);
 
@@ -143,5 +143,158 @@ fn async_jobs_match_sync_results_and_errors_are_mapped() {
     // (the pool is joined on this thread — never torn down on a worker).
     let (status, _) = roundtrip(addr, "POST", "/jobs", request);
     assert_eq!(status, 202);
+    handle.shutdown();
+}
+
+/// The acceptance criterion for the new families: a seeded request per
+/// family over real TCP, answered byte-identically across ≥ 4
+/// concurrent connections and on sequential replay.
+#[test]
+fn new_families_answer_byte_identically_under_concurrency() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let requests = [
+        r#"{"graph": "road-chesapeake", "circuit": "lif-annealed",
+            "schedule": {"kind": "geometric", "start": 1.0, "end": 0.05},
+            "budget": 64, "replicas": 4, "seed": 42}"#,
+        r#"{"graph": "road-chesapeake", "circuit": "hopfield",
+            "steps": 8, "budget": 64, "replicas": 4, "seed": 42}"#,
+    ];
+    for request in requests {
+        let bodies: Vec<(u16, String)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| scope.spawn(move || roundtrip(addr, "POST", "/solve", request)))
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        for (status, _) in &bodies {
+            assert_eq!(*status, 200);
+        }
+        let reference = &bodies[0].1;
+        for (i, (_, body)) in bodies.iter().enumerate() {
+            assert_eq!(body, reference, "connection {i} diverged");
+        }
+        let (status, replay) = roundtrip(addr, "POST", "/solve", request);
+        assert_eq!(status, 200);
+        assert_eq!(&replay, reference, "sequential replay diverged");
+
+        // The body is a valid cut of the named dataset.
+        let doc = snc_experiments::json::parse(reference).unwrap();
+        let best_cut = doc.get("best_cut").unwrap().as_u64().unwrap();
+        let graph = snc_graph::EmpiricalDataset::RoadChesapeake.load().unwrap();
+        let sides: Vec<i8> = doc
+            .get("partition")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| if s.as_u64() == Some(1) { 1 } else { -1 })
+            .collect();
+        let cut = snc_graph::CutAssignment::from_sides(sides);
+        assert_eq!(cut.cut_value(&graph), best_cut, "partition must achieve best_cut");
+    }
+    handle.shutdown();
+}
+
+/// The new workloads round-trip over the wire: weighted graphs,
+/// MAX2SAT, MAXDICUT — sync equals async, replay is byte-exact, and
+/// the reported values are internally consistent.
+#[test]
+fn new_workloads_round_trip_sync_async_and_replay() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let requests = [
+        r#"{"graph": {"weighted_edges": [[0,1,2.0],[1,2,0.5],[2,3,1.25],[3,0,3.0]]},
+            "circuit": "lif-gw", "budget": 32, "seed": 9}"#,
+        r#"{"max2sat": {"vars": 4, "clauses": [[1,-2],[2,3],[-3,4],[-1]],
+            "weights": [1.0, 2.0, 1.5, 0.5]}, "budget": 16, "seed": 9}"#,
+        r#"{"maxdicut": {"n": 5, "arcs": [[0,1],[1,2],[2,3],[3,4],[4,0]]}, "budget": 16, "seed": 9}"#,
+    ];
+    for request in requests {
+        let (status, sync_body) = roundtrip(addr, "POST", "/solve", request);
+        assert_eq!(status, 200, "{request}: {sync_body}");
+        let sync_doc = snc_experiments::json::parse(&sync_body).unwrap();
+
+        // Async submit/poll converges to exactly the sync object.
+        let (status, submitted) = roundtrip(addr, "POST", "/jobs", request);
+        assert_eq!(status, 202);
+        let id = snc_experiments::json::parse(&submitted)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let result = loop {
+            let (status, poll) = roundtrip(addr, "GET", &format!("/jobs/{id}"), "");
+            assert_eq!(status, 200);
+            let doc = snc_experiments::json::parse(&poll).unwrap();
+            match doc.get("status").unwrap().as_str().unwrap() {
+                "done" => break doc.get("result").unwrap().clone(),
+                "failed" => panic!("job failed: {poll}"),
+                _ => {
+                    assert!(std::time::Instant::now() < deadline, "job never finished");
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            }
+        };
+        assert_eq!(result, sync_doc, "{request}");
+
+        // Replay is byte-exact.
+        let (status, replay) = roundtrip(addr, "POST", "/solve", request);
+        assert_eq!(status, 200);
+        assert_eq!(replay, sync_body, "{request}");
+    }
+    handle.shutdown();
+}
+
+/// Unknown or misplaced knobs are rejected with 400 at every nesting
+/// level of the new wire surface, over real TCP.
+#[test]
+fn new_wire_knobs_reject_with_400_at_every_nesting_level() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let cases: &[(&str, &str)] = &[
+        // Top level: knob on the wrong family.
+        (
+            r#"{"graph": "road-chesapeake", "budget": 8,
+                "schedule": {"kind": "geometric", "start": 1.0, "end": 0.1}}"#,
+            "`schedule` is only valid",
+        ),
+        (
+            r#"{"graph": "road-chesapeake", "budget": 8, "steps": 4}"#,
+            "`steps` is only valid",
+        ),
+        // Schedule object level.
+        (
+            r#"{"graph": "road-chesapeake", "budget": 8, "circuit": "lif-annealed",
+                "schedule": {"kind": "geometric", "start": 1.0, "end": 0.1, "bogus": 1}}"#,
+            "unknown key `bogus` in `schedule`",
+        ),
+        // Instance object level.
+        (
+            r#"{"max2sat": {"vars": 2, "clauses": [[1]], "bogus": 1}, "budget": 8}"#,
+            "unknown key `bogus` in `max2sat`",
+        ),
+        (
+            r#"{"maxdicut": {"n": 2, "arcs": [[0,1]], "bogus": 1}, "budget": 8}"#,
+            "unknown key `bogus` in `maxdicut`",
+        ),
+        // Workload level: two workloads at once.
+        (
+            r#"{"graph": "road-chesapeake", "maxdicut": {"n": 2, "arcs": [[0,1]]}, "budget": 8}"#,
+            "exactly one of",
+        ),
+        // Weighted-edge element level.
+        (
+            r#"{"graph": {"weighted_edges": [[0, 1, 1e13]]}, "budget": 8}"#,
+            "magnitude limit",
+        ),
+    ];
+    for (request, needle) in cases {
+        let (status, body) = roundtrip(addr, "POST", "/solve", request);
+        assert_eq!(status, 400, "{request}: {body}");
+        assert!(body.contains(needle), "expected {needle:?} in {body}");
+    }
     handle.shutdown();
 }
