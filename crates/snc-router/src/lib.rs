@@ -1,0 +1,39 @@
+//! `snc-router` — the fingerprint-routed scale-out tier.
+//!
+//! A thin, dependency-free HTTP/1.1 edge that shards `POST /solve` and
+//! `POST /jobs` traffic across N backend `snc-server` processes by the
+//! request's canonical fingerprint
+//! ([`snc_server::ResponseKey::payload_fold`]). Because the shard key
+//! depends only on the problem *instance* (never on seed, budget,
+//! replicas, or labels), every request about one graph lands on one
+//! backend, whose `SdpCache` and `ResponseCache` therefore see a
+//! stable slice of the keyspace — the fleet's aggregate warm-cache hit
+//! rate matches a single server's instead of being diluted N ways.
+//!
+//! The tier is sound because the backends are deterministic: identical
+//! canonical requests produce byte-identical response bodies on any
+//! replica, so consistent-hash failover (and operator re-sharding)
+//! never changes an answer, only who computes it.
+//!
+//! Modules:
+//!
+//! * [`ring`] — Karger-style consistent-hash ring over backend
+//!   *indices* (stable across restarts and ephemeral ports), with
+//!   weighted virtual nodes and a deterministic failover order.
+//! * [`health`] — per-backend up/down hysteresis fed by both probes
+//!   and live proxy outcomes, plus the traffic counters `/healthz`
+//!   reports.
+//! * [`proxy`] — the edge process: acceptor, keyed forwarding with
+//!   bounded retry-on-another-replica, job-id re-keying, aggregated
+//!   health.
+//! * [`config`] — the binary's flags.
+
+pub mod config;
+pub mod health;
+pub mod proxy;
+pub mod ring;
+
+pub use config::{parse_args, parse_backend, BackendSpec, RouterConfig};
+pub use health::{probe_backend, BackendSnapshot, HealthTable};
+pub use proxy::{serve_router, RouterHandle};
+pub use ring::{HashRing, DEFAULT_VNODES};

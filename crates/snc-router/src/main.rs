@@ -1,0 +1,32 @@
+//! The `snc-router` binary: parse flags, start the edge, serve forever.
+
+use snc_router::{parse_args, serve_router};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            eprintln!("snc-router: {message}");
+            std::process::exit(2);
+        }
+    };
+    let backends = cfg.backends.len();
+    let vnodes = cfg.vnodes;
+    let retries = cfg.retries;
+    match serve_router(cfg) {
+        Ok(handle) => {
+            // The "listening on" line is load-bearing: test harnesses
+            // bind port 0 and parse the resolved address from stdout.
+            println!(
+                "snc-router listening on {} ({backends} backends, {vnodes} vnodes/weight, {retries} retries)",
+                handle.addr()
+            );
+            handle.join();
+        }
+        Err(e) => {
+            eprintln!("snc-router: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! The edge process: acceptor, per-connection loop, fingerprint
+//! routing, bounded-retry forwarding, and aggregated health reporting.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! client ──▶ TcpListener ──accept──▶ connection thread (keep-alive loop)
+//!                 │                        │ parse (snc_server::http + wire)
+//!                 │                        ▼
+//!                 │            ResponseKey::payload_fold (the shard key)
+//!                 │                        ▼
+//!                 │            HashRing::candidates(key) ∩ live backends
+//!                 │                        │ attempt 1 … 1+retries
+//!                 │                        ▼
+//!                 │            forward to backend snc-server over TCP
+//!                 │                 │ connect/read error ──▶ next candidate
+//!                 │                 │ 5xx               ──▶ next candidate
+//!                 │                 ▼
+//!                 └──◀── relay backend body byte-for-byte ◀──┘
+//! ```
+//!
+//! The router never re-renders a solve response: the backend's body is
+//! relayed untouched, so the byte-identical wire contract survives the
+//! extra hop. Failover is sound for the same reason the caches are —
+//! any backend produces the identical body for the identical canonical
+//! request — so a retry that lands on a different replica is
+//! indistinguishable from first-try success.
+//!
+//! Async jobs need one extra trick: job ids are per-backend, so the
+//! router re-keys them as `id · B + backend_index` (`B` = configured
+//! fleet size) before answering, and decodes that on `GET /jobs/{id}`
+//! to poll the owning backend. A job's result dies with its backend —
+//! polling a down backend answers 503, never hangs.
+
+use crate::config::RouterConfig;
+use crate::health::{probe_loop, HealthTable};
+use crate::ring::HashRing;
+use snc_experiments::json::{self, Json};
+use snc_server::http::{self, HttpError, Request};
+use snc_server::wire;
+use snc_server::ServerConfig;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and the acceptor wake to check the shutdown
+/// flag (mirrors `snc-server`).
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Shared state every router connection thread sees.
+struct Shared {
+    cfg: RouterConfig,
+    defaults: snc_server::wire::RequestDefaults,
+    ring: HashRing,
+    health: Arc<HealthTable>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A running router. Dropping the handle shuts it down gracefully
+/// (acceptor and prober stopped, in-flight proxied requests finished).
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    prober: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RouterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterHandle").field("addr", &self.addr).finish()
+    }
+}
+
+/// Binds the edge listener, starts the acceptor and the health prober.
+///
+/// # Errors
+///
+/// Propagates socket bind failures.
+pub fn serve_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let health = Arc::new(HealthTable::new(
+        cfg.backends.len(),
+        cfg.down_after,
+        cfg.up_after,
+    ));
+    let prober = {
+        let backends: Vec<SocketAddr> = cfg.backends.iter().map(|b| b.addr).collect();
+        let table = Arc::clone(&health);
+        let interval = cfg.probe_interval;
+        let timeout = cfg.probe_timeout;
+        let flag = Arc::clone(&shutdown);
+        std::thread::spawn(move || probe_loop(backends, table, interval, timeout, flag))
+    };
+    let shared = Arc::new(Shared {
+        // Parse with the same limits a default backend enforces, so the
+        // edge rejects exactly what the fleet would.
+        defaults: ServerConfig {
+            replicas: cfg.replicas,
+            ..ServerConfig::default()
+        }
+        .request_defaults(),
+        ring: HashRing::new(&cfg.weights(), cfg.vnodes),
+        health,
+        shutdown: Arc::clone(&shutdown),
+        cfg,
+    });
+    let acceptor = std::thread::spawn(move || accept_loop(&listener, &shared));
+    Ok(RouterHandle {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+        prober: Some(prober),
+    })
+}
+
+impl RouterHandle {
+    /// The actual bound edge address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown and blocks until the acceptor,
+    /// connection threads, and prober have exited.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the router exits (the binary's serve-forever mode).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accepts client connections until shutdown, then joins every
+/// connection thread (mirrors the backend's acceptor).
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                connections.retain(|handle| !handle.is_finished());
+                let shared = Arc::clone(shared);
+                connections.push(std::thread::spawn(move || serve_connection(stream, &shared)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+                connections.retain(|handle| !handle.is_finished());
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// The per-connection HTTP/1.1 keep-alive loop (same shape as the
+/// backend's; the work inside `route` is proxying instead of solving).
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let should_abort = || shared.shutdown.load(Ordering::SeqCst);
+    loop {
+        match http::read_request(
+            &mut reader,
+            &mut writer,
+            shared.cfg.max_body_bytes,
+            &should_abort,
+        ) {
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive && !should_abort();
+                let started = Instant::now();
+                let (status, body) = match route(&request, shared) {
+                    Ok(reply) => reply,
+                    Err(e) => (e.status, wire::error_body(&e.message)),
+                };
+                let elapsed_us = started.elapsed().as_micros().to_string();
+                let extra = [("x-snc-elapsed-us", elapsed_us)];
+                if http::write_response(&mut writer, status, &extra, body.as_bytes(), keep_alive)
+                    .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(e) => {
+                let body = wire::error_body(&e.message);
+                let _ = http::write_response(&mut writer, e.status, &[], body.as_bytes(), false);
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one parsed client request.
+fn route(request: &Request, shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok((200, healthz(shared))),
+        ("POST", "/solve") => proxy_keyed(&request.body, "/solve", shared).map(|(s, b, _)| (s, b)),
+        ("POST", "/jobs") => submit_job(&request.body, shared),
+        ("GET", path) if path.starts_with("/jobs/") => poll_job(path, shared),
+        ("GET", "/") => Ok((200, index_body())),
+        (_, "/healthz" | "/solve" | "/jobs" | "/") => {
+            Err(HttpError::new(405, "method not allowed"))
+        }
+        (_, path) if path.starts_with("/jobs/") => Err(HttpError::new(405, "method not allowed")),
+        _ => Err(HttpError::new(404, "no such endpoint")),
+    }
+}
+
+fn index_body() -> String {
+    Json::Obj(vec![
+        ("service".into(), Json::str("snc-router")),
+        (
+            "endpoints".into(),
+            Json::Arr(
+                ["GET /healthz", "POST /solve", "POST /jobs", "GET /jobs/{id}"]
+                    .into_iter()
+                    .map(Json::str)
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
+}
+
+/// The aggregated router health body: fleet status, per-backend state
+/// and counters, and the global routed/retried/failed tallies.
+fn healthz(shared: &Arc<Shared>) -> String {
+    let backends: Vec<Json> = shared
+        .cfg
+        .backends
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let snap = shared.health.snapshot(i);
+            Json::Obj(vec![
+                ("addr".into(), Json::str(spec.addr.to_string())),
+                ("weight".into(), Json::UInt(u64::from(spec.weight))),
+                ("up".into(), Json::Bool(snap.up)),
+                ("probes_ok".into(), Json::UInt(snap.probes_ok)),
+                ("probes_failed".into(), Json::UInt(snap.probes_failed)),
+                ("routed".into(), Json::UInt(snap.routed)),
+                ("errors".into(), Json::UInt(snap.errors)),
+            ])
+        })
+        .collect();
+    let up = shared.health.up_count();
+    let status = if up == shared.cfg.backends.len() {
+        "ok"
+    } else if up > 0 {
+        "degraded"
+    } else {
+        "down"
+    };
+    Json::Obj(vec![
+        ("status".into(), Json::str(status)),
+        ("backends".into(), Json::Arr(backends)),
+        ("backends_up".into(), Json::UInt(up as u64)),
+        (
+            "ring_points".into(),
+            Json::UInt(shared.ring.points() as u64),
+        ),
+        (
+            "routed".into(),
+            Json::UInt(shared.health.routed.load(Ordering::Relaxed)),
+        ),
+        (
+            "retried".into(),
+            Json::UInt(shared.health.retried.load(Ordering::Relaxed)),
+        ),
+        (
+            "failed".into(),
+            Json::UInt(shared.health.failed.load(Ordering::Relaxed)),
+        ),
+    ])
+    .render()
+}
+
+/// One forwarded HTTP round-trip to a backend: fresh connection,
+/// `Connection: close`, full response buffered before returning — so a
+/// retry can never interleave with bytes already relayed to the client.
+fn forward_once(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    shared: &Shared,
+) -> std::io::Result<(u16, String)> {
+    let stream = TcpStream::connect_timeout(&addr, shared.cfg.connect_timeout)?;
+    stream.set_read_timeout(Some(shared.cfg.backend_read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: snc-router\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed backend status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length: Option<usize> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "backend closed mid-headers",
+            ));
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some(v) = trimmed.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = Some(v.trim().parse().map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad backend content-length")
+            })?);
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    let body = String::from_utf8(body).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "backend body is not UTF-8")
+    })?;
+    Ok((status, body))
+}
+
+/// Parses a solve-bearing body, shards it by canonical fingerprint, and
+/// forwards it with bounded failover. Returns `(status, body, backend)`
+/// where `backend` is the index that produced the relayed response.
+///
+/// Failure taxonomy:
+///
+/// * transport errors (connect refused/timeout, read error) — the
+///   backend may be dead: feed the health machine, try the next
+///   candidate;
+/// * `5xx` — the backend is alive but couldn't answer (queue full,
+///   solver panic): try the next candidate *without* a health demotion
+///   (the prober owns aliveness; one poisoned request must not take a
+///   replica out of the ring). By determinism, a relayed retry is
+///   byte-identical to what the first backend would eventually have
+///   said, so failover never changes answers;
+/// * `< 500` — relay.
+fn proxy_keyed(
+    body: &[u8],
+    path: &str,
+    shared: &Arc<Shared>,
+) -> Result<(u16, String, usize), HttpError> {
+    let workload =
+        wire::parse_request(body, &shared.defaults).map_err(|e| HttpError::new(400, e.0))?;
+    let key = wire::response_key(&workload).payload_fold();
+    let candidates: Vec<usize> = shared
+        .ring
+        .candidates(key)
+        .into_iter()
+        .filter(|&b| shared.health.is_up(b))
+        .collect();
+    if candidates.is_empty() {
+        shared.health.failed.fetch_add(1, Ordering::Relaxed);
+        return Err(HttpError::new(503, "no live backends"));
+    }
+    let budget = candidates.len().min(shared.cfg.retries + 1);
+    let mut last_5xx: Option<(u16, String, usize)> = None;
+    for (attempt, &backend) in candidates.iter().take(budget).enumerate() {
+        if attempt > 0 {
+            shared.health.retried.fetch_add(1, Ordering::Relaxed);
+        }
+        let addr = shared.cfg.backends[backend].addr;
+        match forward_once(addr, "POST", path, body, shared) {
+            Ok((status, reply)) if status < 500 => {
+                shared.health.observe_success(backend, false);
+                shared.health.count_routed(backend);
+                return Ok((status, reply, backend));
+            }
+            Ok((status, reply)) => {
+                shared.health.observe_success(backend, false);
+                last_5xx = Some((status, reply, backend));
+            }
+            Err(_) => shared.health.observe_failure(backend, false),
+        }
+    }
+    // Out of budget: relay the last backend-authored 5xx if any (it is
+    // a deterministic answer), otherwise the fleet was unreachable.
+    if let Some((status, reply, backend)) = last_5xx {
+        shared.health.count_routed(backend);
+        return Ok((status, reply, backend));
+    }
+    shared.health.failed.fetch_add(1, Ordering::Relaxed);
+    Err(HttpError::new(
+        503,
+        format!("all {budget} candidate backend(s) unreachable, retry later"),
+    ))
+}
+
+/// Re-keys a backend-local job id into the router's id space.
+fn encode_job_id(inner: u64, backend: usize, fleet: usize) -> Option<u64> {
+    inner
+        .checked_mul(fleet as u64)
+        .and_then(|scaled| scaled.checked_add(backend as u64))
+}
+
+/// `POST /jobs`: forward by fingerprint, then re-key the returned job
+/// id so `GET /jobs/{id}` can find the owning backend again.
+fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+    let (status, reply, backend) = proxy_keyed(body, "/jobs", shared)?;
+    if status != 202 {
+        return Ok((status, reply));
+    }
+    let doc = json::parse(&reply)
+        .map_err(|_| HttpError::new(500, "backend job ack was not JSON"))?;
+    let inner = doc
+        .get("id")
+        .and_then(json::Json::as_u64)
+        .ok_or_else(|| HttpError::new(500, "backend job ack carried no id"))?;
+    let routed_id = encode_job_id(inner, backend, shared.cfg.backends.len())
+        .ok_or_else(|| HttpError::new(500, "job id overflow"))?;
+    let Json::Obj(members) = doc else {
+        return Err(HttpError::new(500, "backend job ack was not an object"));
+    };
+    let rewritten: Vec<(String, Json)> = members
+        .into_iter()
+        .map(|(k, v)| {
+            if k == "id" {
+                (k, Json::UInt(routed_id))
+            } else {
+                (k, v)
+            }
+        })
+        .collect();
+    Ok((202, Json::Obj(rewritten).render()))
+}
+
+/// `GET /jobs/{id}`: decode the owning backend from the router-keyed
+/// id, poll it directly (job affinity — no failover possible), and
+/// re-key the id in the answer.
+fn poll_job(path: &str, shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+    let routed_id: u64 = path
+        .strip_prefix("/jobs/")
+        .and_then(|raw| raw.parse().ok())
+        .ok_or_else(|| HttpError::new(400, "job id must be an integer"))?;
+    let fleet = shared.cfg.backends.len() as u64;
+    let backend = (routed_id % fleet) as usize;
+    let inner = routed_id / fleet;
+    if !shared.health.is_up(backend) {
+        return Err(HttpError::new(
+            503,
+            format!("job {routed_id} lives on a backend that is down"),
+        ));
+    }
+    let addr = shared.cfg.backends[backend].addr;
+    match forward_once(addr, "GET", &format!("/jobs/{inner}"), b"", shared) {
+        Ok((200, reply)) => {
+            let doc = json::parse(&reply)
+                .map_err(|_| HttpError::new(500, "backend job record was not JSON"))?;
+            let Json::Obj(members) = doc else {
+                return Err(HttpError::new(500, "backend job record was not an object"));
+            };
+            let rewritten: Vec<(String, Json)> = members
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "id" {
+                        (k, Json::UInt(routed_id))
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect();
+            shared.health.observe_success(backend, false);
+            Ok((200, Json::Obj(rewritten).render()))
+        }
+        Ok((404, _)) => Err(HttpError::new(
+            404,
+            format!("no job {routed_id} (expired or never existed)"),
+        )),
+        Ok((status, reply)) => Ok((status, reply)),
+        Err(_) => {
+            shared.health.observe_failure(backend, false);
+            Err(HttpError::new(
+                503,
+                format!("job {routed_id}'s backend did not answer"),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_id_round_trips_through_the_router_keyspace() {
+        for fleet in 1..5usize {
+            for backend in 0..fleet {
+                for inner in [0u64, 1, 7, 1_000_003] {
+                    let routed = encode_job_id(inner, backend, fleet).unwrap();
+                    assert_eq!((routed % fleet as u64) as usize, backend);
+                    assert_eq!(routed / fleet as u64, inner);
+                }
+            }
+        }
+        assert_eq!(encode_job_id(u64::MAX, 1, 3), None, "overflow is caught");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based pins on the consistent-hash ring: load balance across
+//! weighted topologies, and the ≈1/N remap bound when one backend
+//! leaves the ring.
+
+use proptest::prelude::*;
+use snc_graph::fingerprint::mix;
+use snc_router::HashRing;
+
+/// A deterministic, well-spread sample of the routing keyspace. The
+/// real routing keys are `payload_fold` values (already mixed 64-bit
+/// hashes), so mixed integers are a faithful stand-in.
+fn sample_keys(count: usize, salt: u64) -> Vec<u64> {
+    (0..count as u64).map(|i| mix(i ^ (salt << 17))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Key distribution stays within a balance bound: with ≥ 32 vnodes
+    /// per weight unit, no backend's observed share exceeds 3× its
+    /// weight-fair share, and every positive-weight backend receives
+    /// *some* keys.
+    #[test]
+    fn load_stays_within_the_balance_bound(
+        n in 2usize..7,
+        weight_raw in proptest::collection::vec(1u32..4, 6),
+        salt in 0u64..32,
+    ) {
+        let weights = &weight_raw[..n];
+        let ring = HashRing::new(weights, 32);
+        let keys = sample_keys(4096, salt);
+        let mut hits = vec![0usize; n];
+        for &key in &keys {
+            hits[ring.route(key, |_| true).unwrap()] += 1;
+        }
+        let total_weight: u32 = weights.iter().sum();
+        for (backend, (&hit, &weight)) in hits.iter().zip(weights).enumerate() {
+            let fair = keys.len() as f64 * f64::from(weight) / f64::from(total_weight);
+            prop_assert!(hit > 0, "backend {backend} (weight {weight}) starved");
+            prop_assert!(
+                (hit as f64) < 3.0 * fair,
+                "backend {backend}: {hit} hits vs fair share {fair:.0} (weights {weights:?})"
+            );
+        }
+    }
+
+    /// Consistency: dropping one backend (weight → 0) remaps exactly the
+    /// keys that backend owned — nothing else moves — and the moved
+    /// fraction is small (≤ 3/N of the sampled keyspace).
+    #[test]
+    fn removal_remaps_only_the_departed_share(
+        n in 2usize..7,
+        victim_raw in 0usize..6,
+        salt in 0u64..32,
+    ) {
+        let victim = victim_raw % n;
+        let weights = vec![1u32; n];
+        let mut reduced_weights = weights.clone();
+        reduced_weights[victim] = 0;
+        let full = HashRing::new(&weights, 32);
+        let reduced = HashRing::new(&reduced_weights, 32);
+        let keys = sample_keys(4096, salt);
+        let mut moved = 0usize;
+        for &key in &keys {
+            let before = full.route(key, |_| true).unwrap();
+            let after = reduced.route(key, |_| true).unwrap();
+            if before == victim {
+                moved += 1;
+                prop_assert_ne!(after, victim);
+                // The zero-weight rebuild and live-routing's dead-skip
+                // agree on where orphaned keys land: the next candidate.
+                prop_assert_eq!(after, full.candidates(key)[1]);
+            } else {
+                prop_assert_eq!(
+                    before, after,
+                    "key not owned by the departed backend moved"
+                );
+            }
+        }
+        prop_assert!(moved > 0, "victim owned no sampled keys");
+        prop_assert!(
+            (moved as f64) <= 3.0 * keys.len() as f64 / n as f64,
+            "moved {moved} of {} keys with n = {n}", keys.len()
+        );
+    }
+
+    /// Failover order is stable under churn: marking backends dead one
+    /// at a time walks the candidate list in order, and candidates are
+    /// a permutation of all backends.
+    #[test]
+    fn failover_walks_candidates_in_order(n in 2usize..6, key in any::<u64>()) {
+        let ring = HashRing::new(&vec![1u32; n], 32);
+        let candidates = ring.candidates(key);
+        let mut sorted = candidates.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        for dead_prefix in 0..n {
+            let expected = candidates[dead_prefix];
+            let routed = ring
+                .route(key, |b| !candidates[..dead_prefix].contains(&b))
+                .unwrap();
+            prop_assert_eq!(routed, expected);
+        }
+        prop_assert_eq!(ring.route(key, |_| false), None);
+    }
+}

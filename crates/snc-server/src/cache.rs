@@ -138,13 +138,26 @@ impl ResponseKey {
         self
     }
 
+    /// The 64-bit fold of the request's *instance* payload: the graph's
+    /// [`GraphFingerprint`] fold, or the canonical-string hash for
+    /// non-graph workloads.
+    ///
+    /// This is the scale-out routing key: it depends only on the
+    /// instance (never on seed, budget, replica width, or label), so an
+    /// edge process sharding by it sends every request about the same
+    /// graph to the same backend — maximizing that backend's
+    /// [`snc_maxcut::SdpCache`] and [`ResponseCache`] locality.
+    pub fn payload_fold(&self) -> u64 {
+        match &self.payload {
+            Payload::Graph { fingerprint, .. } => fingerprint.fold(),
+            Payload::Canonical(s) => hash_bytes(s.as_bytes()),
+        }
+    }
+
     /// A 64-bit digest for shard routing and cheap pre-filtering (always
     /// followed by a full equality check on hit).
     fn digest(&self) -> u64 {
-        let mut d = match &self.payload {
-            Payload::Graph { fingerprint, .. } => fingerprint.fold(),
-            Payload::Canonical(s) => hash_bytes(s.as_bytes()),
-        };
+        let mut d = self.payload_fold();
         for word in [
             self.budget,
             self.replicas as u64,
@@ -544,6 +557,41 @@ mod tests {
         cache.insert(k.clone(), "first".to_string());
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(cache.stats().bytes, bytes, "no double charge");
+    }
+
+    #[test]
+    fn payload_fold_depends_only_on_the_instance() {
+        // The routing key ignores everything but the instance: same
+        // graph under different seed/budget/replicas/label/extras folds
+        // identically (so a fingerprint router keeps SdpCache locality),
+        // while a different graph folds differently.
+        let base = key(1, 42);
+        let mut other = key(1, 43);
+        other.budget = 99;
+        other.replicas = 16;
+        other.graph_label = "renamed".to_string();
+        let other = other.with_extras("steps=9".to_string());
+        assert_eq!(base.payload_fold(), other.payload_fold());
+        assert_ne!(base.payload_fold(), key(2, 42).payload_fold());
+        // Canonical payloads fold off the string, not the scalars.
+        let canon = |s: &str| {
+            ResponseKey::new_canonical(
+                CircuitFamily::LifGw,
+                1,
+                1,
+                0,
+                "w".to_string(),
+                s.to_string(),
+            )
+        };
+        assert_eq!(
+            canon("wgraph:n=3;").payload_fold(),
+            canon("wgraph:n=3;").payload_fold()
+        );
+        assert_ne!(
+            canon("wgraph:n=3;").payload_fold(),
+            canon("wgraph:n=4;").payload_fold()
+        );
     }
 
     #[test]

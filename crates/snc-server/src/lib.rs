@@ -67,6 +67,7 @@
 pub mod cache;
 pub mod http;
 pub mod jobs;
+pub mod process;
 pub mod server;
 pub mod wire;
 

@@ -44,7 +44,7 @@
 //! reads poll a flag on a short timeout), and drains the worker queue
 //! before joining.
 
-use crate::cache::{ResponseCache, ResponseKey};
+use crate::cache::ResponseCache;
 use crate::http::{self, HttpError, Request};
 use crate::jobs::{JobStatus, JobStore};
 use crate::wire::{self, RequestDefaults, Workload};
@@ -52,10 +52,10 @@ use snc_devices::SplitMix64;
 use snc_experiments::json::Json;
 use snc_experiments::runner::WorkerPool;
 use snc_linalg::SdpConfig;
-use snc_maxcut::{CircuitFamily, SdpCache};
+use snc_maxcut::SdpCache;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -115,7 +115,11 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    fn request_defaults(&self) -> RequestDefaults {
+    /// The parse-time defaults and limits this configuration implies.
+    ///
+    /// Public so that edge processes (the scale-out router) can parse
+    /// requests with exactly the limits their backends will apply.
+    pub fn request_defaults(&self) -> RequestDefaults {
         RequestDefaults {
             replicas: self.replicas,
             // Match the experiment harness exactly (rank 4, fast-Δt LIF
@@ -155,52 +159,12 @@ struct Shared {
     /// Byte-exact full-response cache (`None` when
     /// `response_cache_bytes == 0`).
     response_cache: Option<Arc<ResponseCache>>,
+    /// Solve-bearing requests accepted so far (`POST /solve` +
+    /// `POST /jobs`, counted whether they hit a cache, run a solve, or
+    /// shed with 503). Reported on `/healthz` so an edge process can
+    /// audit exactly where its routed traffic landed.
+    solve_requests: AtomicU64,
     shutdown: AtomicBool,
-}
-
-/// The canonical cache key for a parsed workload (the full request:
-/// family, budget, replicas, seed, instance, family-specific knobs).
-/// Non-graph instances key on their canonical string; the extension
-/// workloads have no circuit family or replica width, so they pin the
-/// placeholder `(LifGw, 1)` — distinct labels and canonical prefixes
-/// keep them from ever colliding with a real graph request.
-fn response_key(workload: &Workload) -> ResponseKey {
-    match workload {
-        Workload::MaxCut(job) => ResponseKey::new(
-            job.spec.family,
-            job.spec.budget,
-            job.spec.replicas,
-            job.spec.seed,
-            job.graph_label.clone(),
-            job.graph.clone(),
-        )
-        .with_extras(wire::spec_extras(&job.spec)),
-        Workload::WeightedMaxCut(job) => ResponseKey::new_canonical(
-            job.spec.family,
-            job.spec.budget,
-            job.spec.replicas,
-            job.spec.seed,
-            job.graph_label.clone(),
-            job.canonical_graph(),
-        )
-        .with_extras(wire::spec_extras(&job.spec)),
-        Workload::Max2Sat(job) => ResponseKey::new_canonical(
-            CircuitFamily::LifGw,
-            job.samples,
-            1,
-            job.seed,
-            "max2sat".to_string(),
-            job.canonical(),
-        ),
-        Workload::MaxDicut(job) => ResponseKey::new_canonical(
-            CircuitFamily::LifGw,
-            job.samples,
-            1,
-            job.seed,
-            "maxdicut".to_string(),
-            job.canonical(),
-        ),
-    }
 }
 
 /// A running server. Dropping the handle shuts the server down
@@ -238,6 +202,7 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
             .then(|| Arc::new(SdpCache::new(cfg.sdp_cache_entries))),
         response_cache: (cfg.response_cache_bytes > 0)
             .then(|| Arc::new(ResponseCache::new(cfg.response_cache_bytes))),
+        solve_requests: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
         cfg,
     });
@@ -374,8 +339,14 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
 fn route(request: &Request, shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Ok((200, healthz(shared))),
-        ("POST", "/solve") => solve_sync(&request.body, shared),
-        ("POST", "/jobs") => submit_job(&request.body, shared),
+        ("POST", "/solve") => {
+            shared.solve_requests.fetch_add(1, Ordering::Relaxed);
+            solve_sync(&request.body, shared)
+        }
+        ("POST", "/jobs") => {
+            shared.solve_requests.fetch_add(1, Ordering::Relaxed);
+            submit_job(&request.body, shared)
+        }
         ("GET", path) if path.starts_with("/jobs/") => poll_job(path, shared),
         ("GET", "/") => Ok((200, index_body())),
         (_, "/healthz" | "/solve" | "/jobs" | "/") => {
@@ -434,6 +405,13 @@ fn healthz(shared: &Arc<Shared>) -> String {
     };
     Json::Obj(vec![
         ("status".into(), Json::str("ok")),
+        // Which OS process answered: lets a multi-process test (or an
+        // operator behind a router) tell interchangeable backends apart.
+        ("pid".into(), Json::UInt(u64::from(std::process::id()))),
+        (
+            "solve_requests".into(),
+            Json::UInt(shared.solve_requests.load(Ordering::Relaxed)),
+        ),
         ("threads".into(), Json::UInt(shared.pool.threads() as u64)),
         (
             "in_flight".into(),
@@ -528,7 +506,7 @@ fn solve_sync(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
     let workload =
         wire::parse_request(body, &shared.defaults).map_err(|e| HttpError::new(400, e.0))?;
     let key = shared.response_cache.as_ref().map(|cache| {
-        let key = response_key(&workload);
+        let key = wire::response_key(&workload);
         (Arc::clone(cache), key)
     });
     if let Some((cache, key)) = &key {
@@ -561,7 +539,7 @@ fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
     let workload =
         wire::parse_request(body, &shared.defaults).map_err(|e| HttpError::new(400, e.0))?;
     let key = shared.response_cache.as_ref().map(|cache| {
-        let key = response_key(&workload);
+        let key = wire::response_key(&workload);
         (Arc::clone(cache), key)
     });
     // Response-cache hit: the job is born finished — the stored body is

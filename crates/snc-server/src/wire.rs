@@ -57,6 +57,7 @@
 //! them. Timing never enters the body (it travels in the
 //! `x-snc-elapsed-us` response header).
 
+use crate::cache::ResponseKey;
 use snc_experiments::json::{self, Json};
 use snc_graph::generators::erdos_renyi::gnp;
 use snc_graph::io::edgelist;
@@ -233,6 +234,57 @@ pub fn spec_extras(spec: &SolveSpec) -> String {
         ),
         CircuitFamily::Hopfield => format!("steps={}", spec.hopfield_steps),
         CircuitFamily::LifGw | CircuitFamily::LifTrevisan => String::new(),
+    }
+}
+
+/// The canonical cache key for a parsed workload (the full request:
+/// family, budget, replicas, seed, instance, family-specific knobs).
+/// Non-graph instances key on their canonical string; the extension
+/// workloads have no circuit family or replica width, so they pin the
+/// placeholder `(LifGw, 1)` — distinct labels and canonical prefixes
+/// keep them from ever colliding with a real graph request.
+///
+/// Shared by the server (response-cache lookups) and the scale-out
+/// router (whose shard key is [`ResponseKey::payload_fold`]): both
+/// derive the key from the same parse, so the slice of the keyspace a
+/// backend sees from the router is exactly the slice its own caches
+/// key on.
+pub fn response_key(workload: &Workload) -> ResponseKey {
+    match workload {
+        Workload::MaxCut(job) => ResponseKey::new(
+            job.spec.family,
+            job.spec.budget,
+            job.spec.replicas,
+            job.spec.seed,
+            job.graph_label.clone(),
+            job.graph.clone(),
+        )
+        .with_extras(spec_extras(&job.spec)),
+        Workload::WeightedMaxCut(job) => ResponseKey::new_canonical(
+            job.spec.family,
+            job.spec.budget,
+            job.spec.replicas,
+            job.spec.seed,
+            job.graph_label.clone(),
+            job.canonical_graph(),
+        )
+        .with_extras(spec_extras(&job.spec)),
+        Workload::Max2Sat(job) => ResponseKey::new_canonical(
+            CircuitFamily::LifGw,
+            job.samples,
+            1,
+            job.seed,
+            "max2sat".to_string(),
+            job.canonical(),
+        ),
+        Workload::MaxDicut(job) => ResponseKey::new_canonical(
+            CircuitFamily::LifGw,
+            job.samples,
+            1,
+            job.seed,
+            "maxdicut".to_string(),
+            job.canonical(),
+        ),
     }
 }
 

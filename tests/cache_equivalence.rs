@@ -21,7 +21,7 @@
 use proptest::prelude::*;
 use snc_maxcut::{solve, solve_with_cache, CircuitFamily, SdpCache, SolveSpec};
 use snc_server::wire::{solve_response, SolveJob};
-use snc_server::{serve, ServerConfig, ServerHandle};
+use snc_server::ServerHandle;
 
 mod common;
 use common::roundtrip;
@@ -86,16 +86,13 @@ proptest! {
 // ---------------------------------------------------------------------
 
 fn start(sdp_cache_entries: usize, response_cache_bytes: usize) -> ServerHandle {
-    serve(ServerConfig {
-        addr: "127.0.0.1:0".to_string(),
-        threads: 2,
-        replicas: 1,
-        queue_depth: 32,
-        sdp_cache_entries,
-        response_cache_bytes,
-        ..ServerConfig::default()
+    common::start_server(|cfg| {
+        cfg.threads = 2;
+        cfg.replicas = 1;
+        cfg.queue_depth = 32;
+        cfg.sdp_cache_entries = sdp_cache_entries;
+        cfg.response_cache_bytes = response_cache_bytes;
     })
-    .expect("bind ephemeral port")
 }
 
 /// One request per graph-source form × family, all seeded.

@@ -16,7 +16,7 @@
 //!   three entries never fit together).
 
 use snc_maxcut::CircuitFamily;
-use snc_server::{serve, ResponseKey, ServerConfig, ServerHandle};
+use snc_server::{ResponseKey, ServerHandle};
 
 mod common;
 use common::roundtrip;
@@ -50,18 +50,15 @@ fn response_key(graph_seed: u64) -> ResponseKey {
 }
 
 fn start(response_cache_bytes: usize, sdp_cache_entries: usize) -> ServerHandle {
-    serve(ServerConfig {
-        addr: "127.0.0.1:0".to_string(),
-        threads: 3,
-        replicas: 1,
+    common::start_server(|cfg| {
+        cfg.threads = 3;
+        cfg.replicas = 1;
         // Deep enough that CLIENTS in-flight requests never shed: a 503
         // would break the hits+misses == requests accounting.
-        queue_depth: 64,
-        response_cache_bytes,
-        sdp_cache_entries,
-        ..ServerConfig::default()
+        cfg.queue_depth = 64;
+        cfg.response_cache_bytes = response_cache_bytes;
+        cfg.sdp_cache_entries = sdp_cache_entries;
     })
-    .expect("bind ephemeral port")
 }
 
 #[test]

@@ -14,20 +14,15 @@
 //! * error paths answer 400/404, health answers 200;
 //! * shutdown is graceful.
 
-use snc_server::{serve, ServerConfig};
-
 mod common;
 use common::roundtrip;
 
 fn start_server() -> snc_server::ServerHandle {
-    serve(ServerConfig {
-        addr: "127.0.0.1:0".to_string(),
-        threads: 3,
-        replicas: 1,
-        queue_depth: 32,
-        ..ServerConfig::default()
+    common::start_server(|cfg| {
+        cfg.threads = 3;
+        cfg.replicas = 1;
+        cfg.queue_depth = 32;
     })
-    .expect("bind ephemeral port")
 }
 
 const SOLVE_REQUEST: &str = r#"{"graph": "road-chesapeake", "circuit": "lif-gw", "budget": 128, "replicas": 4, "seed": 42}"#;
