@@ -13,6 +13,11 @@
 //! Before timing, the bench asserts the determinism contract end to
 //! end: every response body across connections must be byte-identical.
 //!
+//! A second group (`server_warm_hit_idle200`) measures the warm
+//! response-cache hit path — answered inline on the reactor loop —
+//! while 200 idle keep-alive connections sit parked on the same loop,
+//! pinning the claim that idle connections are (near-)free under epoll.
+//!
 //! Record results per `docs/BENCHMARKS.md`; set `CRITERION_SHIM_JSON`
 //! to capture the raw numbers.
 
@@ -35,6 +40,43 @@ fn start_server() -> ServerHandle {
         ..ServerConfig::default()
     })
     .expect("bind ephemeral port")
+}
+
+/// Server for the idle-fleet topology: room in the connection budget
+/// for the parked fleet plus the active clients, and an idle deadline
+/// long enough that the reaper never fires mid-measurement.
+fn start_fleet_server() -> ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        max_connections: 512,
+        idle_timeout_ms: 600_000,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Opens `count` keep-alive connections, proves each one admitted with
+/// a `/healthz` round trip, then parks them idle for the caller's
+/// lifetime — the reactor must keep paying attention to all of them
+/// (epoll: O(ready), so for ~free) while the active connections are
+/// timed.
+fn idle_fleet(addr: SocketAddr, count: usize) -> Vec<TcpStream> {
+    (0..count)
+        .map(|_| {
+            let stream = TcpStream::connect(addr).expect("fleet connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .expect("timeout");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            writer
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: snc\r\nContent-Length: 0\r\n\r\n")
+                .expect("fleet probe");
+            let _ = read_response(&mut reader);
+            reader.into_inner()
+        })
+        .collect()
 }
 
 fn request_bytes() -> Vec<u8> {
@@ -120,6 +162,30 @@ fn server_throughput(c: &mut Criterion) {
         });
     }
     group.finish();
+    handle.shutdown();
+
+    // PR 8 topology: the warm cache-hit path measured while ≥ 200 idle
+    // keep-alive connections sit parked on the reactor. Hits answer
+    // inline on the loop (zero thread handoff); the fleet proves idle
+    // connections don't tax the hot path.
+    let handle = start_fleet_server();
+    let addr = handle.addr();
+    let fleet = idle_fleet(addr, 200);
+    assert_eq!(fleet.len(), 200);
+    // Warm the response cache (and re-assert the determinism contract
+    // with the fleet parked).
+    let bodies = round(addr, 8);
+    for body in &bodies {
+        assert_eq!(body, &bodies[0], "warm bodies diverged under the idle fleet");
+    }
+    let mut group = c.benchmark_group("server_warm_hit_idle200");
+    for connections in [1usize, 8] {
+        group.bench_function(format!("hit_b64_conns{connections}_idle200"), |b| {
+            b.iter(|| round(addr, connections));
+        });
+    }
+    group.finish();
+    drop(fleet);
     handle.shutdown();
 }
 

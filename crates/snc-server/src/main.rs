@@ -4,15 +4,19 @@
 //! snc-server [--addr HOST:PORT] [--threads N] [--replicas N]
 //!            [--queue-depth N] [--store-capacity N]
 //!            [--sdp-cache-entries N] [--response-cache-bytes N]
+//!            [--max-connections N] [--idle-timeout-ms N]
 //! ```
 //!
-//! `--threads`, `--replicas`, `--queue-depth`, and `--store-capacity`
-//! must be ≥ 1 (0 is rejected with an error, matching the experiment
-//! binaries). The cache flags accept 0, which *disables* the cache in
-//! question (`--sdp-cache-entries 0 --response-cache-bytes 0`
-//! reproduces the uncached PR-4 request path bit for bit). `--addr`
-//! with port 0 binds an ephemeral port; the actual address is printed
-//! on startup.
+//! `--threads`, `--replicas`, `--queue-depth`, `--store-capacity`,
+//! `--max-connections`, and `--idle-timeout-ms` must be ≥ 1 (0 is
+//! rejected with an error, matching the experiment binaries). The cache
+//! flags accept 0, which *disables* the cache in question
+//! (`--sdp-cache-entries 0 --response-cache-bytes 0` reproduces the
+//! uncached PR-4 request path bit for bit). `--max-connections` is the
+//! reactor's connection budget (overflow accepts are shed with a fast
+//! 503); `--idle-timeout-ms` is the per-request-cycle idle deadline the
+//! reaper enforces. `--addr` with port 0 binds an ephemeral port; the
+//! actual address is printed on startup.
 
 use snc_experiments::config::parse_positive;
 use snc_server::{serve, ServerConfig};
@@ -47,11 +51,18 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--response-cache-bytes" => {
                 cfg.response_cache_bytes = parse_size(it.next(), "--response-cache-bytes")?;
             }
+            "--max-connections" => {
+                cfg.max_connections = parse_positive(it.next(), "--max-connections")?;
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout_ms = parse_positive(it.next(), "--idle-timeout-ms")? as u64;
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}`\nusage: snc-server [--addr HOST:PORT] [--threads N] \
                      [--replicas N] [--queue-depth N] [--store-capacity N] \
-                     [--sdp-cache-entries N] [--response-cache-bytes N]"
+                     [--sdp-cache-entries N] [--response-cache-bytes N] \
+                     [--max-connections N] [--idle-timeout-ms N]"
                 ));
             }
         }
@@ -97,10 +108,13 @@ mod tests {
         assert_eq!(cfg.addr, "127.0.0.1:7878");
         assert_eq!(cfg.sdp_cache_entries, 128);
         assert_eq!(cfg.response_cache_bytes, 4 << 20);
+        assert_eq!(cfg.max_connections, 1024);
+        assert_eq!(cfg.idle_timeout_ms, 30_000);
         let cfg = parse_args(&strs(&[
             "--addr", "0.0.0.0:9000", "--threads", "2", "--replicas", "8",
             "--queue-depth", "16", "--store-capacity", "32",
             "--sdp-cache-entries", "7", "--response-cache-bytes", "65536",
+            "--max-connections", "9", "--idle-timeout-ms", "2500",
         ]))
         .unwrap();
         assert_eq!(cfg.addr, "0.0.0.0:9000");
@@ -110,11 +124,20 @@ mod tests {
         assert_eq!(cfg.store_capacity, 32);
         assert_eq!(cfg.sdp_cache_entries, 7);
         assert_eq!(cfg.response_cache_bytes, 65536);
+        assert_eq!(cfg.max_connections, 9);
+        assert_eq!(cfg.idle_timeout_ms, 2500);
     }
 
     #[test]
     fn rejects_zero_and_unknown_flags() {
-        for flag in ["--threads", "--replicas", "--queue-depth", "--store-capacity"] {
+        for flag in [
+            "--threads",
+            "--replicas",
+            "--queue-depth",
+            "--store-capacity",
+            "--max-connections",
+            "--idle-timeout-ms",
+        ] {
             let err = parse_args(&strs(&[flag, "0"])).unwrap_err();
             assert!(err.contains("must be ≥ 1"), "{flag}: {err}");
         }

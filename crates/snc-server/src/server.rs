@@ -1,31 +1,36 @@
-//! The server core: TCP acceptor, thread-per-connection request loop,
-//! routing, and the worker pool the solves are scheduled onto.
+//! The server core: configuration, routing, and the worker pool the
+//! solves are scheduled onto. The transport underneath is the
+//! readiness-driven reactor in [`crate::event`] — one loop thread owns
+//! every connection; solver workers never touch a socket.
 //!
 //! ## Data flow
 //!
 //! ```text
-//! TcpListener ──accept──▶ connection thread (HTTP/1.1 keep-alive loop)
-//!      │                        │  parse + validate (wire.rs)
+//! TcpListener ──accept──▶ reactor loop (crate::event, one thread)
+//!      │  (budget: over --max-connections ⇒ immediate 503 + close)
+//!      │                        │  incremental parse (http::RequestParser)
 //!      │                        ▼
-//!      │                ResponseCache lookup (full canonical request)
-//!      │                        │ hit ──▶ stored byte-exact body ──┐
-//!      │                        │ miss                             │
-//!      │                        ▼                                  │
-//!      │                bounded WorkerPool queue  ──503 when full  │
-//!      │                        │                                  │
-//!      │                        ▼                                  │
-//!      │                worker, by workload:                       │
-//!      │                  graph      → snc_maxcut::solve_with_cache
+//!      │                route(): /healthz, /, GET /jobs/{id}, parse
+//!      │                errors, and ResponseCache hits answer INLINE
+//!      │                on the loop — zero thread handoff ───────────┐
+//!      │                        │ solve miss                         │
+//!      │                        ▼                                    │
+//!      │                bounded WorkerPool queue  ──503 when full    │
+//!      │                        │                                    │
+//!      │                        ▼                                    │
+//!      │                worker, by workload:                         │
+//!      │                  graph      → snc_maxcut::solve_with_cache  │
 //!      │                        │      (SdpCache: per-graph factor/bound
-//!      │                        │       memo for LIF-GW's offline stage;
-//!      │                        │       all four circuit families on the
-//!      │                        │       ReplicaBatch seed ladder)
-//!      │                  weighted   → snc_maxcut::solve_weighted  │
-//!      │                  max2sat    → extensions::solve_gw_max2sat│
-//!      │                  maxdicut   → extensions::solve_gw_maxdicut
-//!      │                        ▼                                  │
-//!      └──────────◀── deterministic JSON body ◀────────────────────┘
-//!                      (+ x-snc-elapsed-us header)
+//!      │                        │       memo for LIF-GW's offline stage)
+//!      │                  weighted   → snc_maxcut::solve_weighted    │
+//!      │                  max2sat    → extensions::solve_gw_max2sat  │
+//!      │                  maxdicut   → extensions::solve_gw_maxdicut │
+//!      │                        │                                    │
+//!      │                completion → Mailbox + wakeup pipe ──────────┤
+//!      │                        ▼                                    ▼
+//!      └──────────◀── reactor writes the deterministic JSON body
+//!                      (+ x-snc-elapsed-us header), resuming across
+//!                      partial writes as the socket drains
 //! ```
 //!
 //! Identical `(request, seed)` pairs produce byte-identical response
@@ -39,29 +44,27 @@
 //! `--sdp-cache-entries 0 --response-cache-bytes 0` disables both and
 //! reproduces the uncached request path exactly.
 //!
-//! Shutdown is graceful: [`ServerHandle::shutdown`] stops the acceptor,
-//! lets every connection finish its in-flight request (idle keep-alive
-//! reads poll a flag on a short timeout), and drains the worker queue
-//! before joining.
+//! Shutdown is graceful and prompt: [`ServerHandle::shutdown`] sets the
+//! flag and rings the reactor's wakeup pipe — no polling sleeps anywhere
+//! on the path — so the loop immediately stops accepting, closes idle
+//! keep-alive connections, finishes dispatched solves and pending
+//! writes, and exits; the worker queue then drains on the caller's
+//! thread.
 
 use crate::cache::ResponseCache;
-use crate::http::{self, HttpError, Request};
+use crate::event::{self, Completion, Mailbox, ReplyTo};
+use crate::http::{HttpError, Request};
 use crate::jobs::{JobStatus, JobStore};
+use crate::sys;
 use crate::wire::{self, RequestDefaults, Workload};
 use snc_devices::SplitMix64;
 use snc_experiments::json::Json;
 use snc_experiments::runner::WorkerPool;
 use snc_linalg::SdpConfig;
 use snc_maxcut::SdpCache;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// How often blocked reads and the acceptor wake to check the shutdown
-/// flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Server configuration (all knobs the binary exposes, plus limits).
 #[derive(Clone, Debug)]
@@ -93,6 +96,24 @@ pub struct ServerConfig {
     /// Byte budget of the full-response [`ResponseCache`] (`0` disables
     /// response caching).
     pub response_cache_bytes: usize,
+    /// Connection budget: beyond this many live connections, new accepts
+    /// are shed with an immediate `503` and close.
+    pub max_connections: usize,
+    /// Idle deadline in milliseconds, measured from the start of each
+    /// request cycle. A connection that has not completed a request (or
+    /// made write progress) within it is reaped — which is also what
+    /// defeats slowloris-style trickled headers, since received bytes do
+    /// **not** extend the deadline. Connections parked on an in-flight
+    /// solve are exempt.
+    pub idle_timeout_ms: u64,
+    /// When non-zero, shrink each accepted socket's kernel send buffer
+    /// to this many bytes (the kernel clamps to its floor). A test hook:
+    /// forces the reactor through its partial-write resume path with
+    /// small bodies.
+    pub send_buffer_bytes: usize,
+    /// Readiness backend for the reactor (`Auto` = epoll on Linux, poll
+    /// elsewhere).
+    pub backend: sys::Backend,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +131,10 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             sdp_cache_entries: 128,
             response_cache_bytes: 4 << 20,
+            max_connections: 1024,
+            idle_timeout_ms: 30_000,
+            send_buffer_bytes: 0,
+            backend: sys::Backend::Auto,
         }
     }
 }
@@ -138,43 +163,58 @@ impl ServerConfig {
     }
 }
 
-/// Shared state every connection thread sees.
+/// Shared state the reactor loop and the worker closures see.
 ///
 /// `store` is its own `Arc` so async job closures can capture *only*
 /// the store: a queued job must never own (and therefore never be the
 /// last owner of, and drop) the pool it runs on — the pool's teardown
-/// joins its workers, which must not happen on a worker thread. With
-/// this split, the last `Arc<Shared>` is always dropped by the
-/// `ServerHandle` (or the acceptor), so `shutdown()` deterministically
-/// drains and joins the pool on the caller's thread.
-struct Shared {
-    cfg: ServerConfig,
-    defaults: RequestDefaults,
-    pool: WorkerPool<'static>,
-    store: Arc<JobStore>,
+/// joins its workers, which must not happen on a worker thread. The
+/// [`Mailbox`] is split out for the same reason: solve closures capture
+/// the mailbox, caches, and store — never `Arc<Shared>` — so the last
+/// `Arc<Shared>` is always dropped by the `ServerHandle` (or the
+/// reactor), and `shutdown()` deterministically drains and joins the
+/// pool on the caller's thread.
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) defaults: RequestDefaults,
+    pub(crate) pool: WorkerPool<'static>,
+    pub(crate) store: Arc<JobStore>,
     /// Per-graph SDP factor/bound memo, consulted inside worker solves
     /// (`None` when `sdp_cache_entries == 0`). Its own `Arc` for the
     /// same reason as `store`: job closures must never own the pool.
-    sdp_cache: Option<Arc<SdpCache>>,
+    pub(crate) sdp_cache: Option<Arc<SdpCache>>,
     /// Byte-exact full-response cache (`None` when
     /// `response_cache_bytes == 0`).
-    response_cache: Option<Arc<ResponseCache>>,
+    pub(crate) response_cache: Option<Arc<ResponseCache>>,
+    /// Where workers deliver solve completions (and how they — or
+    /// `shutdown()` — interrupt the reactor's wait). Its own `Arc`:
+    /// solve closures must never own the pool (see above).
+    pub(crate) mailbox: Arc<Mailbox>,
+    /// Which readiness backend the reactor runs (`"epoll"`/`"poll"`),
+    /// reported on `/healthz`.
+    pub(crate) backend: &'static str,
+    /// Live connections owned by the reactor right now.
+    pub(crate) conn_active: AtomicU64,
+    /// Connections closed by the idle-deadline reaper so far.
+    pub(crate) conn_reaped: AtomicU64,
+    /// Accepts shed with a fast 503 because the budget was full.
+    pub(crate) conn_shed: AtomicU64,
     /// Solve-bearing requests accepted so far (`POST /solve` +
     /// `POST /jobs`, counted whether they hit a cache, run a solve, or
     /// shed with 503). Reported on `/healthz` so an edge process can
     /// audit exactly where its routed traffic landed.
-    solve_requests: AtomicU64,
-    shutdown: AtomicBool,
+    pub(crate) solve_requests: AtomicU64,
+    pub(crate) shutdown: AtomicBool,
 }
 
 /// A running server. Dropping the handle shuts the server down
-/// gracefully (acceptor stopped, in-flight requests finished, worker
+/// gracefully (accepts stopped, in-flight requests finished, worker
 /// queue drained).
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -185,15 +225,22 @@ impl std::fmt::Debug for Shared {
     }
 }
 
-/// Binds the listener and starts the acceptor and worker threads.
+/// Binds the listener, opens the readiness poller and wakeup pipe, and
+/// starts the reactor and worker threads.
 ///
 /// # Errors
 ///
-/// Propagates socket bind failures.
+/// Propagates socket bind failures, poller construction failures (e.g.
+/// forcing [`sys::Backend::Epoll`] off Linux), and pipe creation
+/// failures.
 pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    // Built here, not in the reactor thread, so construction errors
+    // surface synchronously from `serve`.
+    let poller = sys::Poller::new(cfg.backend)?;
+    let mailbox = Arc::new(Mailbox::new()?);
     let shared = Arc::new(Shared {
         defaults: cfg.request_defaults(),
         pool: WorkerPool::bounded(cfg.threads, cfg.queue_depth),
@@ -202,16 +249,23 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
             .then(|| Arc::new(SdpCache::new(cfg.sdp_cache_entries))),
         response_cache: (cfg.response_cache_bytes > 0)
             .then(|| Arc::new(ResponseCache::new(cfg.response_cache_bytes))),
+        backend: poller.backend_name(),
+        mailbox,
+        conn_active: AtomicU64::new(0),
+        conn_reaped: AtomicU64::new(0),
+        conn_shed: AtomicU64::new(0),
         solve_requests: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
         cfg,
     });
-    let acceptor_shared = Arc::clone(&shared);
-    let acceptor = std::thread::spawn(move || accept_loop(&listener, &acceptor_shared));
+    let reactor_shared = Arc::clone(&shared);
+    let reactor = std::thread::Builder::new()
+        .name("snc-reactor".into())
+        .spawn(move || event::run(listener, poller, &reactor_shared))?;
     Ok(ServerHandle {
         addr,
         shared,
-        acceptor: Some(acceptor),
+        reactor: Some(reactor),
     })
 }
 
@@ -221,13 +275,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests a graceful shutdown and blocks until the acceptor, all
-    /// connection threads, and the (drained) worker pool have exited:
-    /// after the acceptor joins (which joins the connections), this
-    /// handle holds the last `Arc<Shared>` — job closures capture only
-    /// the store — so dropping it here tears the pool down on the
-    /// caller's thread, draining every queued job and joining the
-    /// workers.
+    /// Requests a graceful shutdown and blocks until the reactor and the
+    /// (drained) worker pool have exited. The flag is paired with a ring
+    /// of the reactor's wakeup pipe, so an idle loop wakes immediately —
+    /// there is no polling interval to wait out. After the reactor
+    /// joins, this handle holds the last `Arc<Shared>` — job closures
+    /// capture only the store, caches, and mailbox — so dropping it
+    /// tears the pool down on the caller's thread, draining every
+    /// queued job and joining the workers.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -236,15 +291,16 @@ impl ServerHandle {
     /// [`ServerHandle::shutdown`], is never — the binary's serve-forever
     /// mode).
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
     }
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.shared.mailbox.ring();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
     }
 }
@@ -255,100 +311,39 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Accepts connections until shutdown, then joins every connection
-/// thread (the worker pool drains when `Shared` drops).
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Reap finished connection threads on every accept as
-                // well as when idle, so sustained traffic (which starves
-                // the WouldBlock arm) cannot grow the vector without
-                // bound.
-                connections.retain(|handle| !handle.is_finished());
-                let shared = Arc::clone(shared);
-                connections.push(std::thread::spawn(move || serve_connection(stream, &shared)));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-                connections.retain(|handle| !handle.is_finished());
-            }
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
-        }
-    }
-    for handle in connections {
-        let _ = handle.join();
-    }
+/// How [`route`] answered: inline on the reactor thread, or dispatched
+/// to the worker pool (in which case a [`Completion`] tagged with the
+/// connection's [`ReplyTo`] arrives through the [`Mailbox`]).
+pub(crate) enum Routed {
+    /// The reply is ready now — cache hit, gauge read, async-job
+    /// bookkeeping, or validation output. Zero thread handoff.
+    Ready(u16, String),
+    /// A solve miss was scheduled on the pool; the connection parks
+    /// until its completion is delivered.
+    Dispatched,
 }
 
-/// The per-connection HTTP/1.1 keep-alive loop.
-fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    // Responses are written in one buffered burst; without NODELAY the
-    // final partial segment sits in Nagle's queue waiting for the
-    // client's delayed ACK (~40 ms), which would swamp the
-    // microsecond-scale cache-hit path entirely.
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let should_abort = || shared.shutdown.load(Ordering::SeqCst);
-    loop {
-        match http::read_request(
-            &mut reader,
-            &mut writer,
-            shared.cfg.max_body_bytes,
-            &should_abort,
-        ) {
-            Ok(Some(request)) => {
-                let keep_alive = request.keep_alive && !should_abort();
-                let started = Instant::now();
-                let (status, body) = match route(&request, shared) {
-                    Ok(reply) => reply,
-                    Err(e) => (e.status, wire::error_body(&e.message)),
-                };
-                let elapsed_us = started.elapsed().as_micros().to_string();
-                let extra = [("x-snc-elapsed-us", elapsed_us)];
-                if http::write_response(
-                    &mut writer,
-                    status,
-                    &extra,
-                    body.as_bytes(),
-                    keep_alive,
-                )
-                .is_err()
-                    || !keep_alive
-                {
-                    return;
-                }
-            }
-            Ok(None) => return,
-            Err(e) => {
-                let body = wire::error_body(&e.message);
-                let _ = http::write_response(&mut writer, e.status, &[], body.as_bytes(), false);
-                return;
-            }
-        }
-    }
-}
-
-/// Routes one parsed request to its endpoint.
-fn route(request: &Request, shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+/// Routes one parsed request. Everything except an uncached
+/// `POST /solve` answers [`Routed::Ready`] inline on the reactor.
+pub(crate) fn route(
+    request: &Request,
+    shared: &Arc<Shared>,
+    reply_to: ReplyTo,
+) -> Result<Routed, HttpError> {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Ok((200, healthz(shared))),
+        ("GET", "/healthz") => Ok(Routed::Ready(200, healthz(shared))),
         ("POST", "/solve") => {
             shared.solve_requests.fetch_add(1, Ordering::Relaxed);
-            solve_sync(&request.body, shared)
+            solve(&request.body, shared, reply_to)
         }
         ("POST", "/jobs") => {
             shared.solve_requests.fetch_add(1, Ordering::Relaxed);
-            submit_job(&request.body, shared)
+            submit_job(&request.body, shared).map(|(status, body)| Routed::Ready(status, body))
         }
-        ("GET", path) if path.starts_with("/jobs/") => poll_job(path, shared),
-        ("GET", "/") => Ok((200, index_body())),
+        ("GET", path) if path.starts_with("/jobs/") => {
+            poll_job(path, shared).map(|(status, body)| Routed::Ready(status, body))
+        }
+        ("GET", "/") => Ok(Routed::Ready(200, index_body())),
         (_, "/healthz" | "/solve" | "/jobs" | "/") => {
             Err(HttpError::new(405, "method not allowed"))
         }
@@ -422,6 +417,32 @@ fn healthz(shared: &Arc<Shared>) -> String {
             Json::UInt(shared.cfg.queue_depth as u64),
         ),
         ("jobs_stored".into(), Json::UInt(shared.store.len() as u64)),
+        (
+            "connections".into(),
+            Json::Obj(vec![
+                (
+                    "active".into(),
+                    Json::UInt(shared.conn_active.load(Ordering::Relaxed)),
+                ),
+                (
+                    "reaped".into(),
+                    Json::UInt(shared.conn_reaped.load(Ordering::Relaxed)),
+                ),
+                (
+                    "shed".into(),
+                    Json::UInt(shared.conn_shed.load(Ordering::Relaxed)),
+                ),
+                (
+                    "max".into(),
+                    Json::UInt(shared.cfg.max_connections as u64),
+                ),
+                (
+                    "idle_timeout_ms".into(),
+                    Json::UInt(shared.cfg.idle_timeout_ms),
+                ),
+                ("backend".into(), Json::str(shared.backend)),
+            ]),
+        ),
         ("sdp_cache".into(), sdp_cache),
         ("response_cache".into(), response_cache),
     ])
@@ -499,10 +520,13 @@ fn run_workload(
     }
 }
 
-/// `POST /solve`: parse, consult the response cache, schedule on the
-/// pool on a miss, await, store, answer. A cache hit never touches the
-/// worker pool: the stored body is byte-exact by the wire contract.
-fn solve_sync(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+/// `POST /solve`: parse, consult the response cache, and either answer
+/// the hit inline or schedule the miss on the pool. A cache hit never
+/// touches the worker pool: the stored body is byte-exact by the wire
+/// contract. A miss parks the connection; the worker renders (or
+/// error-renders) the reply, inserts it into the cache, and delivers it
+/// as a [`Completion`] through the [`Mailbox`].
+fn solve(body: &[u8], shared: &Arc<Shared>, reply_to: ReplyTo) -> Result<Routed, HttpError> {
     let workload =
         wire::parse_request(body, &shared.defaults).map_err(|e| HttpError::new(400, e.0))?;
     let key = shared.response_cache.as_ref().map(|cache| {
@@ -511,26 +535,44 @@ fn solve_sync(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
     });
     if let Some((cache, key)) = &key {
         if let Some(cached) = cache.get(key) {
-            return Ok((200, String::clone(&cached)));
+            return Ok(Routed::Ready(200, String::clone(&cached)));
         }
     }
+    // The closure captures the mailbox, caches, and defaults only —
+    // never `Arc<Shared>`, which owns the pool it runs on (see the
+    // `Shared` docs).
+    let mailbox = Arc::clone(&shared.mailbox);
     let sdp_cache = shared.sdp_cache.clone();
     let defaults = shared.defaults.clone();
-    let ticket = shared
+    shared
         .pool
         .try_submit(move || {
-            run_workload(&workload, &defaults, sdp_cache.as_deref()).map(|tree| tree.render())
+            // `run_workload` already contains panics via `guarded`; the
+            // extra catch covers rendering/cache-insert so a completion
+            // is *always* delivered — a parked connection must never be
+            // stranded by a worker that died between solve and deliver.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let rendered = run_workload(&workload, &defaults, sdp_cache.as_deref())
+                    .map(|tree| tree.render())?;
+                if let Some((cache, key)) = key {
+                    cache.insert(key, rendered.clone());
+                }
+                Ok(rendered)
+            }))
+            .unwrap_or_else(|_| Err((500, "internal error: solver panicked".to_string())));
+            let (status, body) = match outcome {
+                Ok(rendered) => (200, rendered),
+                Err((status, message)) => (status, wire::error_body(&message)),
+            };
+            mailbox.deliver(Completion {
+                token: reply_to.token,
+                generation: reply_to.generation,
+                status,
+                body,
+            });
         })
         .map_err(|_| HttpError::new(503, "solver queue is full, retry later"))?;
-    match ticket.wait() {
-        Ok(body) => {
-            if let Some((cache, key)) = key {
-                cache.insert(key, body.clone());
-            }
-            Ok((200, body))
-        }
-        Err((status, message)) => Err(HttpError::new(status, message)),
-    }
+    Ok(Routed::Dispatched)
 }
 
 /// `POST /jobs`: parse, record, schedule; the worker finishes the

@@ -1,0 +1,157 @@
+//! The Linux epoll backend: O(ready) readiness with per-fd kernel state.
+//!
+//! Audited unsafe surface (see the [`super`] module docs): three
+//! syscalls — `epoll_create1`, `epoll_ctl`, `epoll_wait` — plus `close`
+//! on the epoll fd. Registrations are level-triggered (the reactor
+//! re-arms interest as connection state machines advance, so
+//! edge-triggered semantics would buy nothing and cost starvation
+//! bugs). `EPOLLRDHUP` is always subscribed so a peer half-close wakes
+//! a parked connection even when no bytes are wanted.
+
+use super::{Event, Interest};
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// `struct epoll_event`. Packed on x86-64 (a kernel ABI quirk: the
+/// 12-byte layout predates the 64-bit port); naturally aligned
+/// elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// An epoll instance; the fd is closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    epfd: RawFd,
+}
+
+fn interest_bits(interest: Interest) -> u32 {
+    let mut bits = EPOLLRDHUP;
+    if interest.read {
+        bits |= EPOLLIN;
+    }
+    if interest.write {
+        bits |= EPOLLOUT;
+    }
+    bits
+}
+
+impl Epoll {
+    /// Opens an epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: no pointers involved; the returned fd (or -1) is
+        // checked immediately.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest_bits(interest),
+            data: token,
+        };
+        // SAFETY: `event` is a valid epoll_event for the duration of the
+        // call; `epfd` is the instance owned by `self`; `fd` is a live
+        // descriptor owned by the caller.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// Registers `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. double registration).
+    pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Updates `fd`'s interest set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. fd never registered).
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Drops `fd`'s registration (best-effort: the kernel also cleans up
+    /// on close).
+    pub fn remove(&mut self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, Interest::NONE, 0);
+    }
+
+    /// Waits for readiness, appending to `events`; retries `EINTR`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-`EINTR` `epoll_wait` failure.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+        let timeout = super::timeout_ms(timeout);
+        let n = loop {
+            // SAFETY: `buf` is a valid array of 256 epoll_events and the
+            // length passed matches; `epfd` is owned by `self`.
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout) };
+            if n >= 0 {
+                break n as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for raw in &buf[..n] {
+            // Copy out of the (possibly packed) struct before use.
+            let (bits, token) = (raw.events, raw.data);
+            events.push(Event {
+                token,
+                readable: bits & EPOLLIN != 0,
+                writable: bits & EPOLLOUT != 0,
+                closed: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `epfd` was created by `new` and is closed exactly
+        // once, here.
+        let _ = unsafe { close(self.epfd) };
+    }
+}

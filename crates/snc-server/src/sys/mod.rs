@@ -1,0 +1,506 @@
+//! The audited syscall layer under the event loop — the **one** place in
+//! the workspace allowed to relax the `unsafe_code` deny.
+//!
+//! Everything above this module (the reactor in [`crate::event`], the
+//! connection state machines, the handlers) is safe Rust; everything
+//! below it is the raw readiness API of the host kernel. The module
+//! keeps the unsafe surface auditable by construction:
+//!
+//! * **FFI declarations only for libc symbols std already links** —
+//!   `pipe2`/`read`/`write`/`close`/`setsockopt`, plus the poller
+//!   syscalls in the backend files. No new link-time dependencies.
+//! * **Every wrapper is a safe function** whose `// SAFETY:` comment
+//!   states the invariant it upholds (valid fd, in-bounds buffer
+//!   pointer/length pairs, correctly sized out-parameters).
+//! * **No raw fd escapes** — callers hand in `RawFd`s they own (via
+//!   `AsRawFd`) and get back owned wrapper types ([`Wakeup`]) or plain
+//!   results; the module never stores a borrowed fd past the call.
+//!
+//! Two readiness backends compile here ([`Backend`]):
+//!
+//! * **epoll** (`epoll.rs`, Linux only) — O(ready) scaling, the
+//!   production backend;
+//! * **poll** (`poll.rs`, any unix) — the portable fallback, O(fds) per
+//!   wait but identical observable semantics.
+//!
+//! On Linux both backends are compiled so the conformance suite can run
+//! the same lifecycle tests against each; [`Backend::Auto`] selects
+//! epoll at build time on Linux and poll elsewhere.
+
+// The workspace denies `unsafe_code`; this module (and its children,
+// lexically) is the audited exception. `deny` — unlike the crate's old
+// `forbid` — permits exactly this scoped override.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+pub mod epoll;
+pub mod poll;
+
+#[cfg(not(unix))]
+compile_error!("snc-server's readiness layer requires a unix host (epoll or poll)");
+
+/// Readiness backend selection, fixed when the reactor is built.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// epoll on Linux, poll elsewhere (the build-time default).
+    #[default]
+    Auto,
+    /// Force epoll (Linux only; errors at reactor construction elsewhere).
+    Epoll,
+    /// Force the portable poll backend.
+    Poll,
+}
+
+/// What a registered fd should be watched for. Error/hangup conditions
+/// are always reported regardless of interest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable.
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Watch for readability only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Watch for writability only.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Watch for error/hangup only (a parked connection awaiting a
+    /// worker result: no bytes wanted, but peer loss still matters).
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The fd can accept writes.
+    pub writable: bool,
+    /// The peer closed or the fd errored; the owner should read to EOF
+    /// and drop.
+    pub closed: bool,
+}
+
+/// A readiness poller over one of the compiled backends.
+#[derive(Debug)]
+pub struct Poller(PollerImpl);
+
+#[derive(Debug)]
+enum PollerImpl {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(poll::Poll),
+}
+
+impl Poller {
+    /// Opens a poller with the requested backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures, and rejects
+    /// [`Backend::Epoll`] on non-Linux hosts.
+    pub fn new(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Auto | Backend::Epoll => Ok(Poller(PollerImpl::Epoll(epoll::Epoll::new()?))),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll backend requires Linux",
+            )),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Auto => Ok(Poller(PollerImpl::Poll(poll::Poll::new()))),
+            Backend::Poll => Ok(Poller(PollerImpl::Poll(poll::Poll::new()))),
+        }
+    }
+
+    /// The backend actually in use (`"epoll"` or `"poll"`), reported on
+    /// `/healthz` so operators can see which loop is serving.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.0 {
+            #[cfg(target_os = "linux")]
+            PollerImpl::Epoll(_) => "epoll",
+            PollerImpl::Poll(_) => "poll",
+        }
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's registration failure (e.g. a duplicate
+    /// registration under epoll).
+    pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.0 {
+            #[cfg(target_os = "linux")]
+            PollerImpl::Epoll(e) => e.add(fd, token, interest),
+            PollerImpl::Poll(p) => p.add(fd, token, interest),
+        }
+    }
+
+    /// Updates the interest set of an already registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend failure (e.g. the fd was never registered).
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.0 {
+            #[cfg(target_os = "linux")]
+            PollerImpl::Epoll(e) => e.modify(fd, token, interest),
+            PollerImpl::Poll(p) => p.modify(fd, token, interest),
+        }
+    }
+
+    /// Removes `fd` from the watch set. Safe to call for an fd about to
+    /// be closed (epoll also drops registrations on close, but explicit
+    /// removal keeps the poll backend's table exact).
+    pub fn remove(&mut self, fd: RawFd) {
+        match &mut self.0 {
+            #[cfg(target_os = "linux")]
+            PollerImpl::Epoll(e) => e.remove(fd),
+            PollerImpl::Poll(p) => p.remove(fd),
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout`
+    /// expires (`None` waits indefinitely), appending readiness events
+    /// to `events` (which is cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's wait failure. `EINTR` is retried
+    /// internally and never surfaces.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        match &mut self.0 {
+            #[cfg(target_os = "linux")]
+            PollerImpl::Epoll(e) => e.wait(events, timeout),
+            PollerImpl::Poll(p) => p.wait(events, timeout),
+        }
+    }
+}
+
+/// Converts an optional timeout to the millisecond argument shared by
+/// `epoll_wait` and `poll`: `-1` blocks, otherwise round **up** so a
+/// sub-millisecond deadline never degenerates into a busy spin at 0.
+pub(crate) fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_micros().div_ceil(1000);
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared libc FFI: the pipe + socket-option calls used by the reactor.
+// These symbols are provided by the libc std already links against.
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod c {
+    //! Linux flag values (x86_64 and aarch64 share these).
+    pub const O_NONBLOCK: i32 = 0o4000;
+    pub const O_CLOEXEC: i32 = 0o2000000;
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_SNDBUF: i32 = 7;
+    pub const SO_RCVBUF: i32 = 8;
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod c {
+    //! BSD-family flag values (macOS and the BSDs agree on these).
+    pub const O_NONBLOCK: i32 = 0x4;
+    pub const F_GETFL: i32 = 3;
+    pub const F_SETFL: i32 = 4;
+    pub const FD_CLOEXEC: i32 = 1;
+    pub const F_SETFD: i32 = 2;
+    pub const SOL_SOCKET: i32 = 0xffff;
+    pub const SO_SNDBUF: i32 = 0x1001;
+    pub const SO_RCVBUF: i32 = 0x1002;
+}
+
+extern "C" {
+    #[cfg(target_os = "linux")]
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    #[cfg(all(unix, not(target_os = "linux")))]
+    fn pipe(fds: *mut i32) -> i32;
+    #[cfg(all(unix, not(target_os = "linux")))]
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+}
+
+/// Shrinks (or grows) a socket's kernel **send** buffer. The kernel
+/// clamps to its floor (~4.5 KiB on Linux) and doubles the value for
+/// bookkeeping; the conformance suite uses this to force partial writes
+/// through the state machine with small bodies.
+///
+/// # Errors
+///
+/// Propagates `setsockopt` failure.
+pub fn set_send_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+    set_buffer(fd, c::SO_SNDBUF, bytes)
+}
+
+/// Shrinks (or grows) a socket's kernel **receive** buffer. Applied
+/// before `connect`, this caps the advertised TCP window, which is how
+/// a test client throttles a server into exercising write-resume.
+///
+/// # Errors
+///
+/// Propagates `setsockopt` failure.
+pub fn set_recv_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+    set_buffer(fd, c::SO_RCVBUF, bytes)
+}
+
+fn set_buffer(fd: RawFd, option: i32, bytes: usize) -> io::Result<()> {
+    let value: i32 = i32::try_from(bytes).unwrap_or(i32::MAX);
+    // SAFETY: `value` outlives the call; the pointer/length pair
+    // describes exactly the 4 bytes of `value`; `fd` is a live socket
+    // owned by the caller for the duration of the call.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            c::SOL_SOCKET,
+            option,
+            std::ptr::from_ref(&value).cast::<u8>(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// A self-pipe the reactor sleeps on: workers (and `shutdown()`) write a
+/// byte to interrupt `Poller::wait` immediately, replacing every polling
+/// sleep the old core used. Both ends are non-blocking; both are closed
+/// on drop.
+#[derive(Debug)]
+pub struct Wakeup {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// SAFETY: the struct holds two plain file descriptors; all operations on
+// them (`read`/`write`/`close`) are thread-safe at the kernel level, and
+// the only mutation (`Drop`) takes `&mut self`.
+unsafe impl Send for Wakeup {}
+// SAFETY: as above — `notify`/`drain` take `&self` and perform single
+// syscalls with no shared user-space state.
+unsafe impl Sync for Wakeup {}
+
+impl Wakeup {
+    /// Opens the pipe (non-blocking, close-on-exec on both ends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipe creation failure.
+    pub fn new() -> io::Result<Wakeup> {
+        let mut fds = [-1i32; 2];
+        #[cfg(target_os = "linux")]
+        {
+            // SAFETY: `fds` is a valid out-array of exactly 2 ints.
+            let rc = unsafe { pipe2(fds.as_mut_ptr(), c::O_NONBLOCK | c::O_CLOEXEC) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        #[cfg(all(unix, not(target_os = "linux")))]
+        {
+            // SAFETY: `fds` is a valid out-array of exactly 2 ints.
+            let rc = unsafe { pipe(fds.as_mut_ptr()) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                // SAFETY: `fd` was just returned by `pipe` and is owned
+                // here; F_GETFL/F_SETFL/F_SETFD take an int argument.
+                unsafe {
+                    let flags = fcntl(fd, c::F_GETFL, 0);
+                    let _ = fcntl(fd, c::F_SETFL, flags | c::O_NONBLOCK);
+                    let _ = fcntl(fd, c::F_SETFD, c::FD_CLOEXEC);
+                }
+            }
+        }
+        Ok(Wakeup {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The readable end, registered with the reactor's poller.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Interrupts the reactor's wait. Infallible by design: a full pipe
+    /// (`EAGAIN`) means a wakeup is already pending, and a closed read
+    /// end (`EPIPE`, after reactor teardown) means nobody is listening —
+    /// both are fine to ignore.
+    pub fn notify(&self) {
+        let byte = 1u8;
+        // SAFETY: the pointer/length pair describes the single local
+        // byte; `write_fd` stays open for the life of `self`.
+        let _ = unsafe { write(self.write_fd, std::ptr::from_ref(&byte), 1) };
+    }
+
+    /// Drains every pending wakeup byte (the pipe is level-triggered
+    /// state: one drain serves any number of coalesced notifies).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: `buf` is a valid writable buffer of its length;
+            // `read_fd` stays open for the life of `self`.
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                // 0 = impossible while the write end lives; -1 = EAGAIN
+                // (drained) or a real error — either way, stop.
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for Wakeup {
+    fn drop(&mut self) {
+        // SAFETY: the fds were created by `new` and are closed exactly
+        // once, here.
+        unsafe {
+            let _ = close(self.read_fd);
+            let _ = close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn backends() -> Vec<Backend> {
+        if cfg!(target_os = "linux") {
+            vec![Backend::Epoll, Backend::Poll]
+        } else {
+            vec![Backend::Poll]
+        }
+    }
+
+    #[test]
+    fn wakeup_roundtrip_notify_then_drain() {
+        let wake = Wakeup::new().unwrap();
+        for backend in backends() {
+            let mut poller = Poller::new(backend).unwrap();
+            poller.add(wake.read_fd(), 7, Interest::READ).unwrap();
+            let mut events = Vec::new();
+            // Nothing pending: a zero-ish timeout returns empty.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: spurious event");
+            wake.notify();
+            wake.notify(); // coalesces
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable);
+            wake.drain();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: drain left residue");
+            poller.remove(wake.read_fd());
+        }
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        for backend in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut client = TcpStream::connect(addr).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+
+            let mut poller = Poller::new(backend).unwrap();
+            let fd = server.as_raw_fd();
+            // Write interest on an idle socket: immediately writable.
+            poller.add(fd, 1, Interest::WRITE).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+            // Switch to read interest: quiet until the client sends.
+            poller.modify(fd, 1, Interest::READ).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .unwrap();
+            assert!(
+                !events.iter().any(|e| e.readable),
+                "{backend:?}: readable before any bytes"
+            );
+            client.write_all(b"x").unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+            // Peer close surfaces even with empty interest.
+            poller.modify(fd, 1, Interest::NONE).unwrap();
+            drop(client);
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 1 && e.closed),
+                "{backend:?}: peer close not reported: {events:?}"
+            );
+            poller.remove(fd);
+        }
+    }
+
+    #[test]
+    fn recv_buffer_shrink_applies() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        set_recv_buffer(stream.as_raw_fd(), 4096).expect("SO_RCVBUF");
+        set_send_buffer(stream.as_raw_fd(), 4096).expect("SO_SNDBUF");
+    }
+
+    #[test]
+    fn timeout_rounding_never_spins() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(1))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(250))), 250);
+        assert_eq!(timeout_ms(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+}
