@@ -169,6 +169,25 @@ impl SdpCache {
         seed: u64,
         rank: usize,
     ) -> Result<Arc<GwSolution>, LinalgError> {
+        self.get_or_solve_traced(graph, seed, rank)
+            .map(|(solution, _)| solution)
+    }
+
+    /// [`SdpCache::get_or_solve`], additionally reporting whether the
+    /// solution was freshly solved (`true`) or served from the cache
+    /// (`false`) — so callers timing the SDP stage can attribute the
+    /// elapsed time to a real solve rather than a lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from the SDP stage; failures are not
+    /// cached.
+    pub fn get_or_solve_traced(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        rank: usize,
+    ) -> Result<(Arc<GwSolution>, bool), LinalgError> {
         let fingerprint = graph.fingerprint();
         if self.is_enabled() {
             let mut shard = self.shard_for(fingerprint).lock();
@@ -182,7 +201,7 @@ impl SdpCache {
                 let solution = Arc::clone(&entry.solution);
                 shard.entries.push_back(entry);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(solution);
+                return Ok((solution, false));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -219,7 +238,7 @@ impl SdpCache {
                 });
             }
         }
-        Ok(solution)
+        Ok((solution, true))
     }
 }
 

@@ -65,7 +65,7 @@ pub use sampling::{
 };
 pub use solve::{
     solve, solve_weighted, solve_with_cache, CircuitFamily, SolveError, SolveOutcome, SolveSpec,
-    WeightedSolveOutcome,
+    StageTimings, WeightedSolveOutcome,
 };
 pub use trevisan::{solve_trevisan, SpectralRounding, TrevisanConfig, TrevisanSolution};
 pub use weighted::WeightedBestTrace;

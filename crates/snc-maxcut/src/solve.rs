@@ -34,6 +34,7 @@ use snc_graph::{CutAssignment, CutTracker, Graph, WeightedCutTracker, WeightedGr
 use snc_linalg::{LinalgError, SdpConfig};
 use snc_neuro::{LifParams, TwoStageConfig};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The circuit families a request can name: the paper's two circuits
 /// (§IV) plus the annealed-noise and Hopfield companions.
@@ -131,6 +132,29 @@ impl SolveSpec {
     }
 }
 
+/// Wall-clock microseconds spent in each stage of one solve call.
+///
+/// Purely observational: timings ride alongside the deterministic
+/// answer (which remains a pure function of `(graph, spec)`) so a
+/// serving layer can export per-stage latency histograms without
+/// re-instrumenting the solver. Rendering layers must ignore these
+/// fields — response bodies stay byte-identical across cache state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Time in the offline SDP stage, `Some` only when an SDP was
+    /// actually solved this call — `None` for families with no offline
+    /// stage *and* for cache hits, so a histogram of these values is a
+    /// census of real SDP solves.
+    pub sdp_us: Option<u64>,
+    /// Time driving the stochastic circuit (sampling + trace merging).
+    pub sampling_us: u64,
+}
+
+/// Microseconds since `start`, saturating into `u64`.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 /// The answer to a solve request.
 #[derive(Clone, Debug)]
 pub struct SolveOutcome {
@@ -151,6 +175,9 @@ pub struct SolveOutcome {
     pub replicas: usize,
     /// Total samples actually drawn: `⌊budget/R⌋·R ≤ budget`.
     pub samples: u64,
+    /// Wall-clock stage breakdown for this call (observational only —
+    /// not part of the deterministic answer).
+    pub stages: StageTimings,
 }
 
 /// Errors a solve request can fail with.
@@ -271,25 +298,34 @@ pub fn solve_with_cache(
     match spec.family {
         CircuitFamily::LifGw => {
             let sdp_seed = SplitMix64::derive(spec.seed, 1);
-            let gw: Arc<GwSolution> = match cache {
-                Some(cache) => cache.get_or_solve(graph, sdp_seed, spec.sdp_rank)?,
+            let sdp_started = Instant::now();
+            let (gw, freshly_solved): (Arc<GwSolution>, bool) = match cache {
+                Some(cache) => cache.get_or_solve_traced(graph, sdp_seed, spec.sdp_rank)?,
                 None => {
                     let sdp_cfg = SdpConfig {
                         rank: spec.sdp_rank,
                         seed: sdp_seed,
                         ..SdpConfig::default()
                     };
-                    Arc::new(solve_gw(graph, &GwConfig { sdp: sdp_cfg })?)
+                    (Arc::new(solve_gw(graph, &GwConfig { sdp: sdp_cfg })?), true)
                 }
             };
+            // Cache hits report no SDP time: the histogram of `sdp_us`
+            // stays a census of real SDP solves, not lookups.
+            let sdp_us = freshly_solved.then(|| elapsed_us(sdp_started));
             let cfg = LifGwConfig {
                 lif: spec.lif,
                 ..LifGwConfig::default()
             };
             let seeds = replica_seeds(SplitMix64::derive(spec.seed, 3), replicas);
             let mut batch = BatchedLifGwCircuit::new(&gw.factors, &seeds, &cfg);
+            let sampling_started = Instant::now();
             let driven = drive(graph, &checkpoints, replicas, || batch.next_cuts());
-            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound)))
+            let stages = StageTimings {
+                sdp_us,
+                sampling_us: elapsed_us(sampling_started),
+            };
+            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound), stages))
         }
         CircuitFamily::LifTrevisan => {
             let cfg = LifTrevisanConfig {
@@ -301,8 +337,13 @@ pub fn solve_with_cache(
             };
             let seeds = replica_seeds(SplitMix64::derive(spec.seed, 4), replicas);
             let mut batch = BatchedLifTrevisanCircuit::new(graph, &seeds, &cfg);
+            let sampling_started = Instant::now();
             let driven = drive(graph, &checkpoints, replicas, || batch.next_cuts());
-            Ok(driven.into_outcome(replicas, None))
+            let stages = StageTimings {
+                sdp_us: None,
+                sampling_us: elapsed_us(sampling_started),
+            };
+            Ok(driven.into_outcome(replicas, None, stages))
         }
         CircuitFamily::LifAnnealed => {
             // Same slot-1 SDP seed as LIF-GW (identical factors for an
@@ -316,7 +357,9 @@ pub fn solve_with_cache(
                 seed: sdp_seed,
                 ..SdpConfig::default()
             };
+            let sdp_started = Instant::now();
             let gw = solve_gw(graph, &GwConfig { sdp: sdp_cfg })?;
+            let sdp_us = Some(elapsed_us(sdp_started));
             let cfg = LifAnnealedConfig {
                 base: LifGwConfig {
                     lif: spec.lif,
@@ -329,8 +372,13 @@ pub fn solve_with_cache(
             let seeds = replica_seeds(SplitMix64::derive(spec.seed, 6), replicas);
             let mut batch =
                 BatchedLifAnnealedCircuit::new(&gw.factors, graph, &seeds, &cfg, horizon);
+            let sampling_started = Instant::now();
             let driven = drive(graph, &checkpoints, replicas, || batch.next_cuts());
-            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound)))
+            let stages = StageTimings {
+                sdp_us,
+                sampling_us: elapsed_us(sampling_started),
+            };
+            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound), stages))
         }
         CircuitFamily::Hopfield => {
             let cfg = HopfieldConfig {
@@ -339,8 +387,13 @@ pub fn solve_with_cache(
             };
             let seeds = replica_seeds(SplitMix64::derive(spec.seed, 7), replicas);
             let mut batch = BatchedHopfieldCircuit::new(graph, &seeds, &cfg);
+            let sampling_started = Instant::now();
             let driven = drive(graph, &checkpoints, replicas, || batch.next_cuts());
-            Ok(driven.into_outcome(replicas, None))
+            let stages = StageTimings {
+                sdp_us: None,
+                sampling_us: elapsed_us(sampling_started),
+            };
+            Ok(driven.into_outcome(replicas, None, stages))
         }
     }
 }
@@ -363,6 +416,9 @@ pub struct WeightedSolveOutcome {
     pub replicas: usize,
     /// Total samples actually drawn: `⌊budget/R⌋·R ≤ budget`.
     pub samples: u64,
+    /// Wall-clock stage breakdown for this call (observational only —
+    /// not part of the deterministic answer).
+    pub stages: StageTimings,
 }
 
 /// [`solve`] on a weighted graph: every family runs, with the weighted
@@ -399,15 +455,22 @@ pub fn solve_weighted(
     };
     match spec.family {
         CircuitFamily::LifGw => {
+            let sdp_started = Instant::now();
             let gw = solve_gw_weighted(graph, &sdp_cfg(spec))?;
+            let sdp_us = Some(elapsed_us(sdp_started));
             let cfg = LifGwConfig {
                 lif: spec.lif,
                 ..LifGwConfig::default()
             };
             let seeds = replica_seeds(SplitMix64::derive(spec.seed, 3), replicas);
             let mut batch = BatchedLifGwCircuit::new(&gw.factors, &seeds, &cfg);
+            let sampling_started = Instant::now();
             let driven = drive_weighted(graph, &checkpoints, replicas, || batch.next_cuts());
-            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound)))
+            let stages = StageTimings {
+                sdp_us,
+                sampling_us: elapsed_us(sampling_started),
+            };
+            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound), stages))
         }
         CircuitFamily::LifTrevisan => {
             if !graph.is_nonnegative() {
@@ -425,13 +488,20 @@ pub fn solve_weighted(
                 .iter()
                 .map(|&s| WeightedLifTrevisanCircuit::new(graph, s, &cfg))
                 .collect();
+            let sampling_started = Instant::now();
             let driven = drive_weighted(graph, &checkpoints, replicas, || {
                 circuits.iter_mut().map(CutSampler::next_cut).collect()
             });
-            Ok(driven.into_outcome(replicas, None))
+            let stages = StageTimings {
+                sdp_us: None,
+                sampling_us: elapsed_us(sampling_started),
+            };
+            Ok(driven.into_outcome(replicas, None, stages))
         }
         CircuitFamily::LifAnnealed => {
+            let sdp_started = Instant::now();
             let gw = solve_gw_weighted(graph, &sdp_cfg(spec))?;
+            let sdp_us = Some(elapsed_us(sdp_started));
             let cfg = LifAnnealedConfig {
                 base: LifGwConfig {
                     lif: spec.lif,
@@ -444,8 +514,13 @@ pub fn solve_weighted(
             let seeds = replica_seeds(SplitMix64::derive(spec.seed, 6), replicas);
             let mut batch =
                 BatchedLifAnnealedCircuit::new_weighted(&gw.factors, graph, &seeds, &cfg, horizon);
+            let sampling_started = Instant::now();
             let driven = drive_weighted(graph, &checkpoints, replicas, || batch.next_cuts());
-            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound)))
+            let stages = StageTimings {
+                sdp_us,
+                sampling_us: elapsed_us(sampling_started),
+            };
+            Ok(driven.into_outcome(replicas, Some(gw.sdp_bound), stages))
         }
         CircuitFamily::Hopfield => {
             let cfg = HopfieldConfig {
@@ -454,8 +529,13 @@ pub fn solve_weighted(
             };
             let seeds = replica_seeds(SplitMix64::derive(spec.seed, 7), replicas);
             let mut batch = BatchedHopfieldCircuit::new_weighted(graph, &seeds, &cfg);
+            let sampling_started = Instant::now();
             let driven = drive_weighted(graph, &checkpoints, replicas, || batch.next_cuts());
-            Ok(driven.into_outcome(replicas, None))
+            let stages = StageTimings {
+                sdp_us: None,
+                sampling_us: elapsed_us(sampling_started),
+            };
+            Ok(driven.into_outcome(replicas, None, stages))
         }
     }
 }
@@ -468,7 +548,12 @@ struct Driven {
 }
 
 impl Driven {
-    fn into_outcome(self, replicas: usize, sdp_bound: Option<f64>) -> SolveOutcome {
+    fn into_outcome(
+        self,
+        replicas: usize,
+        sdp_bound: Option<f64>,
+        stages: StageTimings,
+    ) -> SolveOutcome {
         let samples = self.trace.checkpoints.last().copied().unwrap_or(0);
         SolveOutcome {
             best_value: self.best_value,
@@ -477,6 +562,7 @@ impl Driven {
             sdp_bound,
             replicas,
             samples,
+            stages,
         }
     }
 }
@@ -547,7 +633,12 @@ struct DrivenWeighted {
 }
 
 impl DrivenWeighted {
-    fn into_outcome(self, replicas: usize, sdp_bound: Option<f64>) -> WeightedSolveOutcome {
+    fn into_outcome(
+        self,
+        replicas: usize,
+        sdp_bound: Option<f64>,
+        stages: StageTimings,
+    ) -> WeightedSolveOutcome {
         let samples = self.trace.checkpoints.last().copied().unwrap_or(0);
         WeightedSolveOutcome {
             best_value: self.best_value,
@@ -556,6 +647,7 @@ impl DrivenWeighted {
             sdp_bound,
             replicas,
             samples,
+            stages,
         }
     }
 }

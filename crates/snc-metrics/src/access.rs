@@ -1,0 +1,143 @@
+//! Structured access logging and request-id minting.
+//!
+//! [`AccessLog`] writes one flushed line per request so a crash (or a
+//! SIGKILL from the fault suite) loses at most the line being written.
+//! [`RequestIds`] mints the `x-snc-request-id` values that correlate a
+//! request across the router → backend hop: ids must be unique within a
+//! process and well-spread across processes, but need no cryptographic
+//! strength — [`crate::mix64`] over a seeded counter is enough.
+
+use crate::mix64;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// An append-only, line-oriented log file shared across threads.
+///
+/// Each [`AccessLog::write`] takes the mutex, writes `line` plus a
+/// newline in a single `write_all`, and flushes — so lines from
+/// concurrent writers never interleave and are durable as soon as the
+/// call returns.
+#[derive(Debug)]
+pub struct AccessLog {
+    file: Mutex<File>,
+}
+
+impl AccessLog {
+    /// Opens (creating if needed) `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<AccessLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(AccessLog { file: Mutex::new(file) })
+    }
+
+    /// Appends one line (a trailing newline is added). Write errors are
+    /// swallowed: losing a log line must never fail a request.
+    pub fn write(&self, line: &str) {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = file.write_all(&buf);
+        let _ = file.flush();
+    }
+}
+
+/// A lock-free generator of request ids: 16 lowercase hex characters,
+/// unique per process and seeded so concurrent processes diverge.
+#[derive(Debug)]
+pub struct RequestIds {
+    seed: u64,
+    next: AtomicU64,
+}
+
+impl RequestIds {
+    /// Creates a generator whose stream is determined by `seed`.
+    pub fn new(seed: u64) -> RequestIds {
+        RequestIds { seed, next: AtomicU64::new(0) }
+    }
+
+    /// Creates a generator seeded from the process id and wall clock,
+    /// so two fleet members started in the same instant still mint
+    /// disjoint id streams.
+    pub fn from_env() -> RequestIds {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        RequestIds::new(mix64(nanos ^ (u64::from(std::process::id()) << 32)))
+    }
+
+    /// Mints the next id: `mix64(seed ^ counter)` rendered as 16 hex
+    /// characters. One relaxed `fetch_add`, no locks.
+    pub fn mint(&self) -> String {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        format!("{:016x}", mix64(self.seed ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+    }
+}
+
+/// Whether `s` is acceptable as a client-supplied `x-snc-request-id`:
+/// 1–64 characters, each ASCII alphanumeric or `-` / `_` / `.`.
+///
+/// The fleet honours a valid incoming id (so the router's id survives
+/// the hop to the backend, and external callers can bring their own)
+/// and mints a fresh one otherwise — ids land in access logs and
+/// response headers, so the charset keeps them shell- and
+/// header-safe.
+pub fn valid_request_id(s: &str) -> bool {
+    (1..=64).contains(&s.len())
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_unique_hex_and_valid() {
+        let ids = RequestIds::new(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = ids.mint();
+            assert_eq!(id.len(), 16);
+            assert!(id.bytes().all(|b| b.is_ascii_hexdigit()));
+            assert!(valid_request_id(&id));
+            assert!(seen.insert(id), "duplicate id");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        assert_ne!(RequestIds::new(1).mint(), RequestIds::new(2).mint());
+    }
+
+    #[test]
+    fn request_id_validation_rejects_junk() {
+        assert!(valid_request_id("abc-123_x.y"));
+        assert!(valid_request_id("a"));
+        assert!(!valid_request_id(""));
+        assert!(!valid_request_id(&"a".repeat(65)));
+        assert!(!valid_request_id("has space"));
+        assert!(!valid_request_id("newline\n"));
+        assert!(!valid_request_id("quote\"d"));
+    }
+
+    #[test]
+    fn access_log_appends_flushed_lines() {
+        let dir = std::env::temp_dir().join(format!("snc-metrics-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        let _ = std::fs::remove_file(&path);
+        let log = AccessLog::open(&path).unwrap();
+        log.write("first line");
+        log.write("second line");
+        // Reopen appends rather than truncating.
+        let log2 = AccessLog::open(&path).unwrap();
+        log2.write("third line");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "first line\nsecond line\nthird line\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

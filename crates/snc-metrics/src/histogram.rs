@@ -1,0 +1,322 @@
+//! The log-linear histogram: lock-free recording, mergeable snapshots,
+//! bucket-interpolated quantiles.
+//!
+//! ## Bucket layout
+//!
+//! Values are `u64` (the fleet records microseconds). The first 8
+//! buckets are exact (`[0,1), [1,2), … [7,8)`); above that, every
+//! power-of-two octave `[2^t, 2^{t+1})` splits into 8 equal linear
+//! sub-buckets, so relative resolution is bounded at ~12.5% everywhere
+//! while the whole `u64` range fits in [`NUM_BUCKETS`] = 496 buckets
+//! (~4 KiB of atomics per histogram). This is the HdrHistogram scheme
+//! with 3 significant bits.
+//!
+//! Recording is three `Relaxed` atomic adds (bucket, count, sum) — no
+//! locks, no allocation — cheap enough for the reactor's warm-hit
+//! inline path. Snapshots read the atomics without synchronization, so
+//! a scrape concurrent with recording may be torn by a few in-flight
+//! samples; every derived statistic uses the snapshot's own bucket
+//! totals, so it is internally consistent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave (8 ⇒ 3 significant bits,
+/// ≤ 12.5% relative bucket width).
+const SUB_BUCKETS: usize = 8;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 3;
+
+/// Total bucket count covering the full `u64` range: 8 exact unit
+/// buckets plus 8 sub-buckets for each octave `[2^3, 2^63]`.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Maps a value to its bucket index. Total over `u64` (no overflow
+/// bucket needed: the top octave's sub-buckets cover up to `u64::MAX`).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // 2^top ≤ v < 2^{top+1}, top ≥ 3
+    let octave = (top - SUB_BITS) as usize;
+    let sub = ((v >> octave) & (SUB_BUCKETS as u64 - 1)) as usize;
+    SUB_BUCKETS + octave * SUB_BUCKETS + sub
+}
+
+/// The half-open value range `[lo, hi)` a bucket covers (`hi` saturates
+/// at `u64::MAX` for the topmost bucket).
+pub(crate) fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64 + 1);
+    }
+    let octave = (index - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let lo = (SUB_BUCKETS as u64 + sub) << octave;
+    let width = 1u64 << octave;
+    (lo, lo.checked_add(width).map_or(u64::MAX, |hi| hi))
+}
+
+/// A fixed-bucket log-linear histogram with lock-free recording.
+///
+/// See the module docs for the bucket layout. All statistics
+/// are read through [`Histogram::snapshot`].
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation: three relaxed atomic adds, no locks.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into an owned, mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a histogram's buckets, mergeable across histograms
+/// (e.g. the same latency metric from several processes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Total observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values in the snapshot.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Element-wise merge: afterwards `self` describes the union of both
+    /// sample sets. Merging snapshots of two histograms is exactly
+    /// recording both value streams into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        // Sum wraps, matching the recording side's `fetch_add`.
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// The quantile estimate for `q ∈ [0, 1]`, or `None` for an empty
+    /// snapshot.
+    ///
+    /// The rank is resolved to its bucket, then linearly interpolated
+    /// within the bucket's bounds — so the estimate is always inside
+    /// `[lo, hi]` of the bucket holding the true rank-order statistic
+    /// (the bracketing property the proptest suite pins).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            if cumulative >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // Zero-based position of the rank inside its bucket, so
+                // a unit bucket (or the first sample in any bucket)
+                // resolves to `lo` — exact for values below 8.
+                let into = (rank - (cumulative - n) - 1) as f64 / n as f64;
+                let est = lo as f64 + (hi - lo) as f64 * into;
+                return Some((est as u64).clamp(lo, hi));
+            }
+        }
+        unreachable!("rank ≤ total ⇒ the cumulative walk terminates");
+    }
+
+    /// Cumulative count of observations in buckets wholly below `limit`
+    /// (i.e. observations with value `< limit`, when `limit` is a
+    /// bucket boundary — every power of two is one). This is the
+    /// exposition's `_bucket{le=…}` value.
+    pub fn cumulative_below(&self, limit: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bucket_bounds(*i).1 <= limit)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Every bucket's hi is the next bucket's lo, starting at 0.
+        let mut expected_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i}");
+            assert!(hi > lo, "bucket {i} is non-empty");
+            if hi == u64::MAX {
+                assert_eq!(i, NUM_BUCKETS - 1, "only the top bucket saturates");
+                break;
+            }
+            expected_lo = hi;
+        }
+    }
+
+    #[test]
+    fn values_land_in_their_own_bounds() {
+        for v in [
+            0,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v, "{v}: lo {lo}");
+            assert!(v < hi || hi == u64::MAX, "{v}: hi {hi}");
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        // Log-linear promise: above the exact range, width/lo ≤ 1/8.
+        for i in SUB_BUCKETS..NUM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                (hi - lo) as f64 / lo as f64 <= 0.125 + 1e-12,
+                "bucket {i}: [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn count_sum_and_small_quantiles_are_exact() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 5, 7, 2] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 20);
+        let snap = h.snapshot();
+        // Values < 8 live in exact unit buckets, so quantiles are exact.
+        assert_eq!(snap.quantile(0.0), Some(2));
+        assert_eq!(snap.quantile(0.5), Some(3));
+        assert_eq!(snap.quantile(1.0), Some(7));
+        assert_eq!(snap.quantile(0.99), Some(7));
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_quantiles() {
+        assert_eq!(Histogram::new().snapshot().quantile(0.5), None);
+        assert_eq!(HistogramSnapshot::empty().quantile(0.99), None);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let union = Histogram::new();
+        for v in [1u64, 9, 100, 5000] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [2u64, 9, 77, 1 << 40] {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn cumulative_below_matches_hand_count() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 7, 8, 63, 64, 65, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.cumulative_below(1), 1); // just the 0
+        assert_eq!(snap.cumulative_below(8), 3); // 0, 1, 7
+        assert_eq!(snap.cumulative_below(64), 5); // … 8, 63
+        assert_eq!(snap.cumulative_below(128), 7); // … 64, 65
+        assert_eq!(snap.cumulative_below(u64::MAX), 8);
+    }
+}

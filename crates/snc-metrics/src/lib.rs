@@ -1,0 +1,64 @@
+//! Dependency-free observability primitives for the `snc` fleet.
+//!
+//! The build environment has no crates.io access (the same constraint
+//! that produced the `shims/` crates), so this crate implements the
+//! small subset of a metrics stack the serving tiers need, from
+//! scratch, on `std` alone:
+//!
+//! * [`Counter`] / [`Gauge`] — single atomics with relaxed ordering;
+//!   recording is a few nanoseconds and never takes a lock.
+//! * [`Histogram`] — a fixed-bucket **log-linear** histogram (8 linear
+//!   sub-buckets per power-of-two octave, HdrHistogram-style):
+//!   [`Histogram::record`] is three relaxed atomic adds, snapshots are
+//!   mergeable across histograms, and quantiles interpolate within
+//!   bucket bounds (so an estimate is always bracketed by the bucket
+//!   that holds the true rank).
+//! * [`Registry`] — named metric families with label sets, rendered as
+//!   Prometheus-style text exposition ([`Registry::render`]): `# HELP`
+//!   and `# TYPE` precede samples, label values are escaped, histogram
+//!   series emit cumulative `_bucket{le=…}` / `_sum` / `_count` lines.
+//! * [`AccessLog`] — a line-oriented structured log writer (one flushed
+//!   line per request), and [`RequestIds`] — a lock-free generator for
+//!   the `x-snc-request-id` values that correlate one request across
+//!   the router → backend hop.
+//!
+//! ## Naming convention
+//!
+//! Metric names follow `snc_<layer>_<name>_<unit>` — e.g.
+//! `snc_server_request_duration_us`, `snc_router_requests_relayed_total`
+//! — so a fleet-wide scrape groups by layer prefix and every duration
+//! states its unit. Registration panics on names outside the
+//! Prometheus grammar, so a typo fails the first test that touches it,
+//! not a dashboard three weeks later.
+
+mod access;
+mod histogram;
+mod registry;
+
+pub use access::{valid_request_id, AccessLog, RequestIds};
+pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use registry::{Counter, Gauge, Registry};
+
+/// The 64-bit finalizer of SplitMix64 — the workspace's standard bit
+/// mixer, reimplemented here so the crate stays dependency-free. Used
+/// to turn a sequential counter into well-spread request ids.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_spreads_sequential_inputs() {
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a, b);
+        // Avalanche sanity: consecutive inputs differ in many bits.
+        assert!((a ^ b).count_ones() > 16);
+    }
+}

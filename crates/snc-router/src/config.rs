@@ -50,6 +50,10 @@ pub struct RouterConfig {
     /// `"replicas"` (affects edge validation only; the backend applies
     /// its own default when solving).
     pub replicas: usize,
+    /// Append one structured line per routed request (request id,
+    /// route, family, outcome, status, elapsed µs) to this path.
+    /// `None` disables access logging.
+    pub access_log: Option<String>,
 }
 
 impl Default for RouterConfig {
@@ -67,6 +71,7 @@ impl Default for RouterConfig {
             backend_read_timeout: Duration::from_secs(120),
             max_body_bytes: 1 << 20,
             replicas: 1,
+            access_log: None,
         }
     }
 }
@@ -156,12 +161,16 @@ pub fn parse_args(args: &[String]) -> Result<RouterConfig, String> {
                     Duration::from_millis(positive(it.next(), "--backend-read-timeout-ms")?);
             }
             "--replicas" => cfg.replicas = positive(it.next(), "--replicas")?,
+            "--access-log" => {
+                cfg.access_log = Some(it.next().ok_or("--access-log needs a PATH value")?.clone());
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}`\nusage: snc-router --backend HOST:PORT[@WEIGHT] \
                      [--backend …] [--addr HOST:PORT] [--vnodes N] [--probe-interval-ms N] \
                      [--probe-timeout-ms N] [--down-after N] [--up-after N] [--retries N] \
-                     [--connect-timeout-ms N] [--backend-read-timeout-ms N] [--replicas N]"
+                     [--connect-timeout-ms N] [--backend-read-timeout-ms N] [--replicas N] \
+                     [--access-log PATH]"
                 ));
             }
         }
@@ -246,5 +255,17 @@ mod tests {
                 .retries,
             0
         );
+    }
+
+    #[test]
+    fn access_log_flag_parses() {
+        let base = strs(&["--backend", "127.0.0.1:1"]);
+        assert_eq!(parse_args(&base).unwrap().access_log, None);
+        let cfg = parse_args(&strs(&[
+            "--backend", "127.0.0.1:1", "--access-log", "/tmp/router.log",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.access_log.as_deref(), Some("/tmp/router.log"));
+        assert!(parse_args(&strs(&["--backend", "127.0.0.1:1", "--access-log"])).is_err());
     }
 }

@@ -26,10 +26,13 @@
 //! * [`proxy`] — the edge process: acceptor, keyed forwarding with
 //!   bounded retry-on-another-replica, job-id re-keying, aggregated
 //!   health.
+//! * [`metrics`] — the edge's `/metrics` registry (request latency
+//!   histograms plus scrape-time mirrors of the health-table tallies).
 //! * [`config`] — the binary's flags.
 
 pub mod config;
 pub mod health;
+pub mod metrics;
 pub mod proxy;
 pub mod ring;
 

@@ -34,10 +34,12 @@
 
 use crate::config::RouterConfig;
 use crate::health::{probe_loop, HealthTable};
+use crate::metrics::RouterMetrics;
 use crate::ring::HashRing;
 use snc_experiments::json::{self, Json};
+use snc_metrics::{AccessLog, RequestIds};
 use snc_server::http::{self, HttpError, Request};
-use snc_server::wire;
+use snc_server::wire::{self, Workload};
 use snc_server::ServerConfig;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -56,6 +58,9 @@ struct Shared {
     ring: HashRing,
     health: Arc<HealthTable>,
     shutdown: Arc<AtomicBool>,
+    metrics: RouterMetrics,
+    request_ids: RequestIds,
+    access_log: Option<AccessLog>,
 }
 
 /// A running router. Dropping the handle shuts it down gracefully
@@ -82,6 +87,10 @@ pub fn serve_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let access_log = match &cfg.access_log {
+        Some(path) => Some(AccessLog::open(path)?),
+        None => None,
+    };
     let shutdown = Arc::new(AtomicBool::new(false));
     let health = Arc::new(HealthTable::new(
         cfg.backends.len(),
@@ -107,6 +116,9 @@ pub fn serve_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
         ring: HashRing::new(&cfg.weights(), cfg.vnodes),
         health,
         shutdown: Arc::clone(&shutdown),
+        metrics: RouterMetrics::new(),
+        request_ids: RequestIds::from_env(),
+        access_log,
         cfg,
     });
     let acceptor = std::thread::spawn(move || accept_loop(&listener, &shared));
@@ -201,13 +213,47 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(Some(request)) => {
                 let keep_alive = request.keep_alive && !should_abort();
                 let started = Instant::now();
-                let (status, body) = match route(&request, shared) {
-                    Ok(reply) => reply,
-                    Err(e) => (e.status, wire::error_body(&e.message)),
+                // The edge is where ids are minted: honor a well-formed
+                // client-supplied id, otherwise coin one. The same id
+                // travels on every backend attempt (including retries),
+                // which is what makes cross-tier correlation work.
+                let request_id = match request.request_id.as_deref() {
+                    Some(id) if snc_metrics::valid_request_id(id) => id.to_string(),
+                    _ => shared.request_ids.mint(),
                 };
-                let elapsed_us = started.elapsed().as_micros().to_string();
-                let extra = [("x-snc-elapsed-us", elapsed_us)];
-                if http::write_response(&mut writer, status, &extra, body.as_bytes(), keep_alive)
+                let (status, body, meta) = match route(&request, &request_id, shared) {
+                    Ok(reply) => reply,
+                    Err(e) => (
+                        e.status,
+                        wire::error_body(&e.message),
+                        error_meta(&request.path),
+                    ),
+                };
+                let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                shared
+                    .metrics
+                    .request_duration(meta.route, meta.family, meta.outcome)
+                    .record(elapsed);
+                if let Some(log) = &shared.access_log {
+                    log.write(&format!(
+                        "id={request_id} route={} family={} outcome={} status={status} us={elapsed}",
+                        meta.route, meta.family, meta.outcome
+                    ));
+                }
+                let extra = [
+                    ("x-snc-elapsed-us", elapsed.to_string()),
+                    ("x-snc-request-id", request_id),
+                ];
+                let bytes = http::render_response_typed(
+                    status,
+                    meta.content_type,
+                    &extra,
+                    body.as_bytes(),
+                    keep_alive,
+                );
+                if writer
+                    .write_all(&bytes)
+                    .and_then(|()| writer.flush())
                     .is_err()
                     || !keep_alive
                 {
@@ -224,15 +270,106 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Observability labels for one routed request, decided at route time
+/// (mirrors the backend's `ResponseMeta`). `route`/`family`/`outcome`
+/// feed the latency histogram and the access log; `content_type` only
+/// varies for `/metrics`.
+#[derive(Clone, Copy, Debug)]
+struct RouteMeta {
+    route: &'static str,
+    family: &'static str,
+    outcome: &'static str,
+    content_type: &'static str,
+}
+
+impl RouteMeta {
+    fn new(route: &'static str) -> RouteMeta {
+        RouteMeta {
+            route,
+            family: "none",
+            outcome: "none",
+            content_type: "application/json",
+        }
+    }
+}
+
+/// The stable route label for a request path (bounded cardinality:
+/// unknown paths collapse into `other`).
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/solve" => "solve",
+        "/jobs" => "jobs",
+        "/metrics" => "metrics",
+        "/" => "index",
+        p if p.starts_with("/jobs/") => "jobs_poll",
+        _ => "other",
+    }
+}
+
+/// Labels for a request that failed routing (4xx/5xx minted edge-side).
+fn error_meta(path: &str) -> RouteMeta {
+    RouteMeta {
+        outcome: "error",
+        ..RouteMeta::new(route_label(path))
+    }
+}
+
+/// The circuit-family label for a parsed solve workload (mirrors the
+/// backend's labelling so the two tiers' series join cleanly).
+fn workload_family(workload: &Workload) -> &'static str {
+    match workload {
+        Workload::MaxCut(job) => job.spec.family.name(),
+        Workload::WeightedMaxCut(job) => job.spec.family.name(),
+        Workload::Max2Sat(_) => "max2sat",
+        Workload::MaxDicut(_) => "maxdicut",
+    }
+}
+
 /// Routes one parsed client request.
-fn route(request: &Request, shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+fn route(
+    request: &Request,
+    request_id: &str,
+    shared: &Arc<Shared>,
+) -> Result<(u16, String, RouteMeta), HttpError> {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Ok((200, healthz(shared))),
-        ("POST", "/solve") => proxy_keyed(&request.body, "/solve", shared).map(|(s, b, _)| (s, b)),
-        ("POST", "/jobs") => submit_job(&request.body, shared),
-        ("GET", path) if path.starts_with("/jobs/") => poll_job(path, shared),
-        ("GET", "/") => Ok((200, index_body())),
-        (_, "/healthz" | "/solve" | "/jobs" | "/") => {
+        ("GET", "/healthz") => Ok((200, healthz(shared), RouteMeta::new("healthz"))),
+        ("GET", "/metrics") => Ok((
+            200,
+            metrics_body(shared),
+            RouteMeta {
+                content_type: "text/plain; version=0.0.4",
+                ..RouteMeta::new("metrics")
+            },
+        )),
+        ("POST", "/solve") => {
+            proxy_keyed(&request.body, "/solve", request_id, shared).map(|(s, b, _, family)| {
+                (
+                    s,
+                    b,
+                    RouteMeta {
+                        family,
+                        outcome: "relayed",
+                        ..RouteMeta::new("solve")
+                    },
+                )
+            })
+        }
+        ("POST", "/jobs") => submit_job(&request.body, request_id, shared),
+        ("GET", path) if path.starts_with("/jobs/") => {
+            poll_job(path, request_id, shared).map(|(s, b)| {
+                (
+                    s,
+                    b,
+                    RouteMeta {
+                        outcome: "relayed",
+                        ..RouteMeta::new("jobs_poll")
+                    },
+                )
+            })
+        }
+        ("GET", "/") => Ok((200, index_body(), RouteMeta::new("index"))),
+        (_, "/healthz" | "/solve" | "/jobs" | "/" | "/metrics") => {
             Err(HttpError::new(405, "method not allowed"))
         }
         (_, path) if path.starts_with("/jobs/") => Err(HttpError::new(405, "method not allowed")),
@@ -246,10 +383,16 @@ fn index_body() -> String {
         (
             "endpoints".into(),
             Json::Arr(
-                ["GET /healthz", "POST /solve", "POST /jobs", "GET /jobs/{id}"]
-                    .into_iter()
-                    .map(Json::str)
-                    .collect(),
+                [
+                    "GET /healthz",
+                    "GET /metrics",
+                    "POST /solve",
+                    "POST /jobs",
+                    "GET /jobs/{id}",
+                ]
+                .into_iter()
+                .map(Json::str)
+                .collect(),
             ),
         ),
     ])
@@ -309,14 +452,36 @@ fn healthz(shared: &Arc<Shared>) -> String {
     .render()
 }
 
+/// Renders `GET /metrics`: mirrors the health table's tallies onto the
+/// registry (read from the same sources `/healthz` reports, so the two
+/// surfaces can never disagree), then renders the text exposition.
+fn metrics_body(shared: &Arc<Shared>) -> String {
+    let m = &shared.metrics;
+    m.sync_totals(
+        shared.health.routed.load(Ordering::Relaxed),
+        shared.health.retried.load(Ordering::Relaxed),
+        shared.health.failed.load(Ordering::Relaxed),
+        shared.health.up_count() as u64,
+    );
+    for (i, spec) in shared.cfg.backends.iter().enumerate() {
+        let snap = shared.health.snapshot(i);
+        m.sync_backend(&spec.addr.to_string(), snap.up, snap.routed, snap.errors);
+    }
+    m.registry.render()
+}
+
 /// One forwarded HTTP round-trip to a backend: fresh connection,
 /// `Connection: close`, full response buffered before returning — so a
 /// retry can never interleave with bytes already relayed to the client.
+/// The edge's request id rides along in `x-snc-request-id`, so every
+/// attempt for one client request (including failover retries on other
+/// backends) carries the same id through the backends' access logs.
 fn forward_once(
     addr: SocketAddr,
     method: &str,
     path: &str,
     body: &[u8],
+    request_id: &str,
     shared: &Shared,
 ) -> std::io::Result<(u16, String)> {
     let stream = TcpStream::connect_timeout(&addr, shared.cfg.connect_timeout)?;
@@ -325,7 +490,7 @@ fn forward_once(
     let mut writer = stream.try_clone()?;
     writer.write_all(
         format!(
-            "{method} {path} HTTP/1.1\r\nHost: snc-router\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: snc-router\r\nx-snc-request-id: {request_id}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             body.len()
         )
         .as_bytes(),
@@ -402,10 +567,12 @@ fn forward_once(
 fn proxy_keyed(
     body: &[u8],
     path: &str,
+    request_id: &str,
     shared: &Arc<Shared>,
-) -> Result<(u16, String, usize), HttpError> {
+) -> Result<(u16, String, usize, &'static str), HttpError> {
     let workload =
         wire::parse_request(body, &shared.defaults).map_err(|e| HttpError::new(400, e.0))?;
+    let family = workload_family(&workload);
     let key = wire::response_key(&workload).payload_fold();
     let candidates: Vec<usize> = shared
         .ring
@@ -424,11 +591,11 @@ fn proxy_keyed(
             shared.health.retried.fetch_add(1, Ordering::Relaxed);
         }
         let addr = shared.cfg.backends[backend].addr;
-        match forward_once(addr, "POST", path, body, shared) {
+        match forward_once(addr, "POST", path, body, request_id, shared) {
             Ok((status, reply)) if status < 500 => {
                 shared.health.observe_success(backend, false);
                 shared.health.count_routed(backend);
-                return Ok((status, reply, backend));
+                return Ok((status, reply, backend, family));
             }
             Ok((status, reply)) => {
                 shared.health.observe_success(backend, false);
@@ -441,7 +608,7 @@ fn proxy_keyed(
     // a deterministic answer), otherwise the fleet was unreachable.
     if let Some((status, reply, backend)) = last_5xx {
         shared.health.count_routed(backend);
-        return Ok((status, reply, backend));
+        return Ok((status, reply, backend, family));
     }
     shared.health.failed.fetch_add(1, Ordering::Relaxed);
     Err(HttpError::new(
@@ -459,10 +626,19 @@ fn encode_job_id(inner: u64, backend: usize, fleet: usize) -> Option<u64> {
 
 /// `POST /jobs`: forward by fingerprint, then re-key the returned job
 /// id so `GET /jobs/{id}` can find the owning backend again.
-fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
-    let (status, reply, backend) = proxy_keyed(body, "/jobs", shared)?;
+fn submit_job(
+    body: &[u8],
+    request_id: &str,
+    shared: &Arc<Shared>,
+) -> Result<(u16, String, RouteMeta), HttpError> {
+    let (status, reply, backend, family) = proxy_keyed(body, "/jobs", request_id, shared)?;
+    let meta = RouteMeta {
+        family,
+        outcome: "relayed",
+        ..RouteMeta::new("jobs")
+    };
     if status != 202 {
-        return Ok((status, reply));
+        return Ok((status, reply, meta));
     }
     let doc = json::parse(&reply)
         .map_err(|_| HttpError::new(500, "backend job ack was not JSON"))?;
@@ -485,13 +661,17 @@ fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
             }
         })
         .collect();
-    Ok((202, Json::Obj(rewritten).render()))
+    Ok((202, Json::Obj(rewritten).render(), meta))
 }
 
 /// `GET /jobs/{id}`: decode the owning backend from the router-keyed
 /// id, poll it directly (job affinity — no failover possible), and
 /// re-key the id in the answer.
-fn poll_job(path: &str, shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+fn poll_job(
+    path: &str,
+    request_id: &str,
+    shared: &Arc<Shared>,
+) -> Result<(u16, String), HttpError> {
     let routed_id: u64 = path
         .strip_prefix("/jobs/")
         .and_then(|raw| raw.parse().ok())
@@ -506,7 +686,7 @@ fn poll_job(path: &str, shared: &Arc<Shared>) -> Result<(u16, String), HttpError
         ));
     }
     let addr = shared.cfg.backends[backend].addr;
-    match forward_once(addr, "GET", &format!("/jobs/{inner}"), b"", shared) {
+    match forward_once(addr, "GET", &format!("/jobs/{inner}"), b"", request_id, shared) {
         Ok((200, reply)) => {
             let doc = json::parse(&reply)
                 .map_err(|_| HttpError::new(500, "backend job record was not JSON"))?;

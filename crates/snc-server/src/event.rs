@@ -47,9 +47,11 @@
 //! [`WorkerPool`]: snc_experiments::runner::WorkerPool
 
 use crate::http::{self, RequestParser};
-use crate::server::{self, Routed, Shared};
+use crate::server::{self, ResponseMeta, Routed, Shared};
 use crate::sys::{self, Event, Interest, Poller};
 use crate::wire;
+use snc_metrics::Histogram;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -129,13 +131,23 @@ impl Mailbox {
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
         )
     }
+
+    /// Completions currently queued (a scrape-time gauge read).
+    pub(crate) fn depth(&self) -> usize {
+        self.completions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
 }
 
 /// A parked request: the solve is on the pool; remember how to frame
-/// the eventual reply.
+/// the eventual reply (and how to label it when it lands).
 struct Waiting {
     keep_alive: bool,
     started: Instant,
+    meta: ResponseMeta,
+    request_id: String,
 }
 
 /// One connection's state.
@@ -184,6 +196,11 @@ struct Reactor {
     next_generation: u64,
     idle: Duration,
     accepting: bool,
+    /// Reactor-local cache of request-duration histogram handles keyed
+    /// by `[route, family, outcome]`, so the warm path records with a
+    /// hash probe and three relaxed atomics instead of taking the
+    /// registry lock.
+    request_histograms: HashMap<[&'static str; 3], Arc<Histogram>>,
 }
 
 /// Runs the reactor until shutdown. Consumes the (non-blocking)
@@ -201,6 +218,7 @@ pub(crate) fn run(listener: TcpListener, poller: Poller, shared: &Arc<Shared>) {
         next_generation: 0,
         idle,
         accepting: true,
+        request_histograms: HashMap::new(),
     };
     let listener_fd = reactor.listener.as_raw_fd();
     let wakeup_fd = reactor.shared.mailbox.wakeup.read_fd();
@@ -224,9 +242,16 @@ pub(crate) fn run(listener: TcpListener, poller: Poller, shared: &Arc<Shared>) {
             }
         }
         let timeout = reactor.next_timeout();
+        let wait_started = Instant::now();
         if reactor.poller.wait(&mut events, timeout).is_err() {
             break;
         }
+        let work_started = Instant::now();
+        reactor
+            .shared
+            .metrics
+            .poll_wait_us
+            .record(micros(work_started.duration_since(wait_started)));
         for i in 0..events.len() {
             let ev = events[i];
             match ev.token {
@@ -239,7 +264,18 @@ pub(crate) fn run(listener: TcpListener, poller: Poller, shared: &Arc<Shared>) {
         reactor.reap();
         let mut freed = std::mem::take(&mut reactor.freed_this_tick);
         reactor.free.append(&mut freed);
+        reactor
+            .shared
+            .metrics
+            .work_us
+            .record(micros(work_started.elapsed()));
+        reactor.shared.metrics.ticks.inc();
     }
+}
+
+/// Saturating `Duration` → whole microseconds for histogram recording.
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 impl Reactor {
@@ -363,6 +399,11 @@ impl Reactor {
             // Deregister before the fd closes so the poll backend's
             // table never holds a dead fd.
             self.poller.remove(conn.stream.as_raw_fd());
+        }
+        if conn.waiting.is_some() {
+            // A parked connection died before its solve landed; keep
+            // the waiting gauge honest.
+            self.shared.metrics.connections_waiting.dec();
         }
         self.shared.conn_active.fetch_sub(1, Ordering::Relaxed);
         if reaped {
@@ -488,21 +529,42 @@ impl Reactor {
                 Ok(None) => return,
                 Ok(Some(request)) => {
                     let keep_alive = request.keep_alive && !shutting_down;
+                    // Honor a well-formed client-supplied id (the router
+                    // relies on this to correlate retries across
+                    // backends); mint a fresh one otherwise.
+                    let request_id = match request.request_id.as_deref() {
+                        Some(id) if snc_metrics::valid_request_id(id) => id.to_string(),
+                        _ => shared.request_ids.mint(),
+                    };
                     let reply_to = ReplyTo {
                         token,
                         generation: conn.generation,
                     };
                     match server::route(&request, &shared, reply_to) {
-                        Ok(Routed::Ready(status, body)) => {
-                            queue_response(conn, idle, status, &body, keep_alive, started);
+                        Ok(Routed::Ready(status, body, meta)) => {
+                            queue_response(
+                                conn,
+                                idle,
+                                &shared,
+                                &mut self.request_histograms,
+                                status,
+                                &body,
+                                keep_alive,
+                                started,
+                                &meta,
+                                &request_id,
+                            );
                             if !keep_alive {
                                 conn.close_after_flush = true;
                             }
                         }
-                        Ok(Routed::Dispatched) => {
+                        Ok(Routed::Dispatched(meta)) => {
+                            shared.metrics.connections_waiting.inc();
                             conn.waiting = Some(Waiting {
                                 keep_alive,
                                 started,
+                                meta,
+                                request_id,
                             });
                         }
                         Err(e) => {
@@ -511,7 +573,19 @@ impl Reactor {
                             // keep-alive — exactly like the blocking
                             // front half did.
                             let body = wire::error_body(&e.message);
-                            queue_response(conn, idle, e.status, &body, keep_alive, started);
+                            let meta = server::error_meta(&request.path);
+                            queue_response(
+                                conn,
+                                idle,
+                                &shared,
+                                &mut self.request_histograms,
+                                e.status,
+                                &body,
+                                keep_alive,
+                                started,
+                                &meta,
+                                &request_id,
+                            );
                             if !keep_alive {
                                 conn.close_after_flush = true;
                             }
@@ -607,13 +681,18 @@ impl Reactor {
             let Some(waiting) = conn.waiting.take() else {
                 continue;
             };
+            self.shared.metrics.connections_waiting.dec();
             queue_response(
                 conn,
                 idle,
+                &self.shared,
+                &mut self.request_histograms,
                 completion.status,
                 &completion.body,
                 waiting.keep_alive,
                 waiting.started,
+                &waiting.meta,
+                &waiting.request_id,
             );
             if !waiting.keep_alive {
                 conn.close_after_flush = true;
@@ -656,17 +735,42 @@ impl Reactor {
 }
 
 /// Renders and queues one framed response, starting a fresh idle cycle.
+/// Also the single observability funnel for routed requests: records
+/// the latency histogram cell, echoes the request id, and emits the
+/// access-log line. Transport errors (parse 4xx, shed 503, reap 408)
+/// deliberately bypass this — their wire format predates tracing and
+/// stays byte-identical.
+#[allow(clippy::too_many_arguments)]
 fn queue_response(
     conn: &mut Conn,
     idle: Duration,
+    shared: &Shared,
+    histograms: &mut HashMap<[&'static str; 3], Arc<Histogram>>,
     status: u16,
     body: &str,
     keep_alive: bool,
     started: Instant,
+    meta: &ResponseMeta,
+    request_id: &str,
 ) {
-    let elapsed_us = started.elapsed().as_micros().to_string();
-    let extra = [("x-snc-elapsed-us", elapsed_us)];
-    let bytes = http::render_response(status, &extra, body.as_bytes(), keep_alive);
+    let elapsed = micros(started.elapsed());
+    let extra = [
+        ("x-snc-elapsed-us", elapsed.to_string()),
+        ("x-snc-request-id", request_id.to_string()),
+    ];
+    let bytes =
+        http::render_response_typed(status, meta.content_type, &extra, body.as_bytes(), keep_alive);
     conn.out.extend_from_slice(&bytes);
     conn.deadline = Instant::now() + idle;
+    let metrics = &shared.metrics;
+    histograms
+        .entry([meta.route, meta.family, meta.outcome])
+        .or_insert_with(|| metrics.request_duration(meta.route, meta.family, meta.outcome))
+        .record(elapsed);
+    if let Some(log) = &shared.access_log {
+        log.write(&format!(
+            "id={request_id} route={} family={} outcome={} status={status} us={elapsed}",
+            meta.route, meta.family, meta.outcome
+        ));
+    }
 }

@@ -60,6 +60,10 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
+    /// Raw `x-snc-request-id` header value, if the client sent one
+    /// (validated at the point of use, not at parse time — an invalid
+    /// id gets a freshly minted replacement, never a 400).
+    pub request_id: Option<String>,
 }
 
 /// The standard reason phrase for the status codes this server emits.
@@ -88,6 +92,7 @@ struct Head {
     keep_alive: bool,
     content_length: usize,
     expect_continue: bool,
+    request_id: Option<String>,
 }
 
 /// Parses the request line into a fresh [`Head`] (keep-alive defaulted
@@ -140,6 +145,9 @@ fn apply_header_line(line: &str, head: &mut Head) -> Result<(), HttpError> {
         "expect" if value.eq_ignore_ascii_case("100-continue") => {
             head.expect_continue = true;
         }
+        "x-snc-request-id" => {
+            head.request_id = Some(value.to_string());
+        }
         "transfer-encoding" => {
             return Err(HttpError::new(501, "chunked transfer encoding not supported"));
         }
@@ -163,6 +171,7 @@ fn assemble(head: Head, body: Vec<u8>) -> Request {
         path,
         body,
         keep_alive: head.keep_alive,
+        request_id: head.request_id,
     }
 }
 
@@ -496,8 +505,20 @@ pub fn render_response(
     body: &[u8],
     keep_alive: bool,
 ) -> Vec<u8> {
+    render_response_typed(status, "application/json", extra, body, keep_alive)
+}
+
+/// [`render_response`] with an explicit `content-type` — the `/metrics`
+/// endpoint answers text exposition, everything else JSON.
+pub fn render_response_typed(
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
     let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
-    head.push_str("content-type: application/json\r\n");
+    head.push_str(&format!("content-type: {content_type}\r\n"));
     head.push_str(&format!("content-length: {}\r\n", body.len()));
     head.push_str(if keep_alive {
         "connection: keep-alive\r\n"

@@ -29,6 +29,7 @@
 //! | `POST /jobs`     | Async submit; answers `202 {"id": …}`            |
 //! | `GET /jobs/{id}` | Poll an async job (`queued/running/done/failed`) |
 //! | `GET /healthz`   | Liveness + queue gauge                           |
+//! | `GET /metrics`   | Prometheus-style text exposition ([`metrics`])   |
 //!
 //! ## Quickstart
 //!
@@ -76,6 +77,7 @@ pub mod cache;
 pub mod event;
 pub mod http;
 pub mod jobs;
+pub mod metrics;
 pub mod process;
 pub mod server;
 pub mod sys;

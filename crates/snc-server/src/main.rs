@@ -5,6 +5,7 @@
 //!            [--queue-depth N] [--store-capacity N]
 //!            [--sdp-cache-entries N] [--response-cache-bytes N]
 //!            [--max-connections N] [--idle-timeout-ms N]
+//!            [--access-log PATH]
 //! ```
 //!
 //! `--threads`, `--replicas`, `--queue-depth`, `--store-capacity`,
@@ -16,7 +17,9 @@
 //! reactor's connection budget (overflow accepts are shed with a fast
 //! 503); `--idle-timeout-ms` is the per-request-cycle idle deadline the
 //! reaper enforces. `--addr` with port 0 binds an ephemeral port; the
-//! actual address is printed on startup.
+//! actual address is printed on startup. `--access-log PATH` appends
+//! one structured line per routed request (request id, route, family,
+//! cache outcome, status, elapsed µs) to PATH; omitted means no log.
 
 use snc_experiments::config::parse_positive;
 use snc_server::{serve, ServerConfig};
@@ -57,12 +60,15 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--idle-timeout-ms" => {
                 cfg.idle_timeout_ms = parse_positive(it.next(), "--idle-timeout-ms")? as u64;
             }
+            "--access-log" => {
+                cfg.access_log = Some(it.next().ok_or("--access-log needs a PATH value")?.clone());
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}`\nusage: snc-server [--addr HOST:PORT] [--threads N] \
                      [--replicas N] [--queue-depth N] [--store-capacity N] \
                      [--sdp-cache-entries N] [--response-cache-bytes N] \
-                     [--max-connections N] [--idle-timeout-ms N]"
+                     [--max-connections N] [--idle-timeout-ms N] [--access-log PATH]"
                 ));
             }
         }
@@ -143,6 +149,15 @@ mod tests {
         }
         assert!(parse_args(&strs(&["--bogus"])).is_err());
         assert!(parse_args(&strs(&["--addr"])).is_err());
+    }
+
+    #[test]
+    fn access_log_flag_parses() {
+        let cfg = parse_args(&[]).unwrap();
+        assert_eq!(cfg.access_log, None);
+        let cfg = parse_args(&strs(&["--access-log", "/tmp/snc-access.log"])).unwrap();
+        assert_eq!(cfg.access_log.as_deref(), Some("/tmp/snc-access.log"));
+        assert!(parse_args(&strs(&["--access-log"])).is_err());
     }
 
     #[test]

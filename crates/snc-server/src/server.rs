@@ -55,16 +55,19 @@ use crate::cache::ResponseCache;
 use crate::event::{self, Completion, Mailbox, ReplyTo};
 use crate::http::{HttpError, Request};
 use crate::jobs::{JobStatus, JobStore};
+use crate::metrics::ServerMetrics;
 use crate::sys;
 use crate::wire::{self, RequestDefaults, Workload};
 use snc_devices::SplitMix64;
 use snc_experiments::json::Json;
 use snc_experiments::runner::WorkerPool;
 use snc_linalg::SdpConfig;
-use snc_maxcut::SdpCache;
+use snc_maxcut::{SdpCache, StageTimings};
+use snc_metrics::{AccessLog, RequestIds};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Server configuration (all knobs the binary exposes, plus limits).
 #[derive(Clone, Debug)]
@@ -114,6 +117,9 @@ pub struct ServerConfig {
     /// Readiness backend for the reactor (`Auto` = epoll on Linux, poll
     /// elsewhere).
     pub backend: sys::Backend,
+    /// When set, append one structured line per served request
+    /// (`id route family outcome status µs`) to this file.
+    pub access_log: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +141,7 @@ impl Default for ServerConfig {
             idle_timeout_ms: 30_000,
             send_buffer_bytes: 0,
             backend: sys::Backend::Auto,
+            access_log: None,
         }
     }
 }
@@ -204,6 +211,16 @@ pub(crate) struct Shared {
     /// shed with 503). Reported on `/healthz` so an edge process can
     /// audit exactly where its routed traffic landed.
     pub(crate) solve_requests: AtomicU64,
+    /// The process metric registry + pre-registered reactor
+    /// instruments. Its own `Arc` so worker closures can record stage
+    /// timings without capturing `Shared` (which owns the pool).
+    pub(crate) metrics: Arc<ServerMetrics>,
+    /// Mints `x-snc-request-id` values for requests that arrive
+    /// without a (valid) one.
+    pub(crate) request_ids: RequestIds,
+    /// One structured line per served request, when `--access-log` is
+    /// set (written by the reactor at response-queue time).
+    pub(crate) access_log: Option<AccessLog>,
     pub(crate) shutdown: AtomicBool,
 }
 
@@ -241,6 +258,10 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     // surface synchronously from `serve`.
     let poller = sys::Poller::new(cfg.backend)?;
     let mailbox = Arc::new(Mailbox::new()?);
+    let access_log = match &cfg.access_log {
+        Some(path) => Some(AccessLog::open(path)?),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         defaults: cfg.request_defaults(),
         pool: WorkerPool::bounded(cfg.threads, cfg.queue_depth),
@@ -255,6 +276,9 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         conn_reaped: AtomicU64::new(0),
         conn_shed: AtomicU64::new(0),
         solve_requests: AtomicU64::new(0),
+        metrics: Arc::new(ServerMetrics::new()),
+        request_ids: RequestIds::from_env(),
+        access_log,
         shutdown: AtomicBool::new(false),
         cfg,
     });
@@ -311,16 +335,72 @@ impl Drop for ServerHandle {
     }
 }
 
+/// The metric labels (and content type) one response carries: static
+/// strings decided at route time, recorded by the reactor when the
+/// response is queued. Purely observational — never rendered into a
+/// body.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ResponseMeta {
+    /// Route label (`solve`, `jobs`, `jobs_poll`, `healthz`, `metrics`,
+    /// `index`, `other`).
+    pub(crate) route: &'static str,
+    /// Circuit family label (`lif-gw` … / `max2sat` / `maxdicut`), or
+    /// `none` for non-solve routes.
+    pub(crate) family: &'static str,
+    /// Response-cache outcome (`hit` / `miss`), or `none` where no
+    /// cache sits on the path, or `error`.
+    pub(crate) outcome: &'static str,
+    /// The `content-type` header value for the response.
+    pub(crate) content_type: &'static str,
+}
+
+impl ResponseMeta {
+    pub(crate) fn new(route: &'static str) -> ResponseMeta {
+        ResponseMeta {
+            route,
+            family: "none",
+            outcome: "none",
+            content_type: "application/json",
+        }
+    }
+
+    /// The route label for a method/path pair, shared by the success
+    /// path and [`error_meta`] so both label the same endpoint cell.
+    fn route_label(path: &str) -> &'static str {
+        match path {
+            "/healthz" => "healthz",
+            "/solve" => "solve",
+            "/jobs" => "jobs",
+            "/metrics" => "metrics",
+            "/" => "index",
+            p if p.starts_with("/jobs/") => "jobs_poll",
+            _ => "other",
+        }
+    }
+}
+
+/// The meta for a request [`route`] rejected with an [`HttpError`]
+/// (404/405/400): same route cell as the success path, outcome
+/// `error`.
+pub(crate) fn error_meta(path: &str) -> ResponseMeta {
+    ResponseMeta {
+        outcome: "error",
+        ..ResponseMeta::new(ResponseMeta::route_label(path))
+    }
+}
+
 /// How [`route`] answered: inline on the reactor thread, or dispatched
 /// to the worker pool (in which case a [`Completion`] tagged with the
-/// connection's [`ReplyTo`] arrives through the [`Mailbox`]).
+/// connection's [`ReplyTo`] arrives through the [`Mailbox`]). Either
+/// way carries the [`ResponseMeta`] the reactor records at
+/// response-queue time.
 pub(crate) enum Routed {
     /// The reply is ready now — cache hit, gauge read, async-job
     /// bookkeeping, or validation output. Zero thread handoff.
-    Ready(u16, String),
+    Ready(u16, String, ResponseMeta),
     /// A solve miss was scheduled on the pool; the connection parks
     /// until its completion is delivered.
-    Dispatched,
+    Dispatched(ResponseMeta),
 }
 
 /// Routes one parsed request. Everything except an uncached
@@ -331,20 +411,31 @@ pub(crate) fn route(
     reply_to: ReplyTo,
 ) -> Result<Routed, HttpError> {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Ok(Routed::Ready(200, healthz(shared))),
+        ("GET", "/healthz") => Ok(Routed::Ready(
+            200,
+            healthz(shared),
+            ResponseMeta::new("healthz"),
+        )),
+        ("GET", "/metrics") => Ok(Routed::Ready(
+            200,
+            metrics_body(shared),
+            ResponseMeta {
+                content_type: "text/plain; version=0.0.4",
+                ..ResponseMeta::new("metrics")
+            },
+        )),
         ("POST", "/solve") => {
             shared.solve_requests.fetch_add(1, Ordering::Relaxed);
             solve(&request.body, shared, reply_to)
         }
         ("POST", "/jobs") => {
             shared.solve_requests.fetch_add(1, Ordering::Relaxed);
-            submit_job(&request.body, shared).map(|(status, body)| Routed::Ready(status, body))
+            submit_job(&request.body, shared)
         }
-        ("GET", path) if path.starts_with("/jobs/") => {
-            poll_job(path, shared).map(|(status, body)| Routed::Ready(status, body))
-        }
-        ("GET", "/") => Ok(Routed::Ready(200, index_body())),
-        (_, "/healthz" | "/solve" | "/jobs" | "/") => {
+        ("GET", path) if path.starts_with("/jobs/") => poll_job(path, shared)
+            .map(|(status, body)| Routed::Ready(status, body, ResponseMeta::new("jobs_poll"))),
+        ("GET", "/") => Ok(Routed::Ready(200, index_body(), ResponseMeta::new("index"))),
+        (_, "/healthz" | "/solve" | "/jobs" | "/" | "/metrics") => {
             Err(HttpError::new(405, "method not allowed"))
         }
         (_, path) if path.starts_with("/jobs/") => Err(HttpError::new(405, "method not allowed")),
@@ -358,14 +449,94 @@ fn index_body() -> String {
         (
             "endpoints".into(),
             Json::Arr(
-                ["GET /healthz", "POST /solve", "POST /jobs", "GET /jobs/{id}"]
-                    .into_iter()
-                    .map(Json::str)
-                    .collect(),
+                [
+                    "GET /healthz",
+                    "GET /metrics",
+                    "POST /solve",
+                    "POST /jobs",
+                    "GET /jobs/{id}",
+                ]
+                .into_iter()
+                .map(Json::str)
+                .collect(),
             ),
         ),
     ])
     .render()
+}
+
+/// The circuit-family metric label for a parsed workload.
+fn workload_family(workload: &Workload) -> &'static str {
+    match workload {
+        Workload::MaxCut(job) => job.spec.family.name(),
+        Workload::WeightedMaxCut(job) => job.spec.family.name(),
+        Workload::Max2Sat(_) => "max2sat",
+        Workload::MaxDicut(_) => "maxdicut",
+    }
+}
+
+/// Renders `GET /metrics`: mirrors the externally-owned tallies (cache
+/// stats, connection counters, pool/queue/jobs gauges) onto the
+/// registry, then renders the text exposition. The mirrored values are
+/// read from the same sources `/healthz` reports, so the two surfaces
+/// can never disagree about a scrape-instant value by more than
+/// concurrent traffic.
+fn metrics_body(shared: &Arc<Shared>) -> String {
+    let m = &shared.metrics;
+    if let Some(cache) = &shared.sdp_cache {
+        let s = cache.stats();
+        m.sync_cache("sdp", s.hits, s.misses, s.evictions, s.entries);
+    }
+    if let Some(cache) = &shared.response_cache {
+        let s = cache.stats();
+        m.sync_cache("response", s.hits, s.misses, s.evictions, s.entries);
+        m.registry
+            .gauge(
+                "snc_cache_bytes",
+                "Bytes resident in the cache",
+                &[("cache", "response")],
+            )
+            .set(s.bytes as i64);
+    }
+    m.connections_active
+        .set(shared.conn_active.load(Ordering::Relaxed) as i64);
+    m.mailbox_depth.set(shared.mailbox.depth() as i64);
+    m.registry
+        .counter(
+            "snc_server_connections_reaped_total",
+            "Connections closed by the idle-deadline reaper",
+            &[],
+        )
+        .set_total(shared.conn_reaped.load(Ordering::Relaxed));
+    m.registry
+        .counter(
+            "snc_server_connections_shed_total",
+            "Accepts shed with a fast 503 over the connection budget",
+            &[],
+        )
+        .set_total(shared.conn_shed.load(Ordering::Relaxed));
+    m.registry
+        .counter(
+            "snc_server_solve_requests_total",
+            "Solve-bearing requests accepted (POST /solve + POST /jobs)",
+            &[],
+        )
+        .set_total(shared.solve_requests.load(Ordering::Relaxed));
+    m.registry
+        .gauge(
+            "snc_server_pool_in_flight",
+            "Solves queued or running on the worker pool",
+            &[],
+        )
+        .set(shared.pool.in_flight() as i64);
+    m.registry
+        .gauge(
+            "snc_server_jobs_stored",
+            "Async job records currently retained",
+            &[],
+        )
+        .set(shared.store.len() as i64);
+    m.registry.render()
 }
 
 fn healthz(shared: &Arc<Shared>) -> String {
@@ -476,23 +647,26 @@ fn extension_sdp_config(defaults: &RequestDefaults, seed: u64) -> SdpConfig {
 }
 
 /// Executes a parsed workload to its deterministic response tree (the
-/// unit of work scheduled on the pool). Only the unweighted graph
+/// unit of work scheduled on the pool), plus the wall-clock stage
+/// breakdown the solver observed (all-zero for the extension
+/// workloads, whose solvers don't expose stages — their time lands in
+/// the `total` stage the caller times). Only the unweighted graph
 /// workload consults the [`SdpCache`] — the weighted and extension SDPs
 /// are solved inline, keeping the cache a census of LIF-GW offline work.
 fn run_workload(
     workload: &Workload,
     defaults: &RequestDefaults,
     sdp_cache: Option<&SdpCache>,
-) -> Result<Json, (u16, String)> {
+) -> Result<(Json, StageTimings), (u16, String)> {
     match workload {
         Workload::MaxCut(job) => guarded(|| {
             snc_maxcut::solve_with_cache(&job.graph, &job.spec, sdp_cache)
-                .map(|outcome| wire::solve_response(job, &outcome))
+                .map(|outcome| (wire::solve_response(job, &outcome), outcome.stages))
                 .map_err(|e| e.to_string())
         }),
         Workload::WeightedMaxCut(job) => guarded(|| {
             snc_maxcut::solve_weighted(&job.graph, &job.spec)
-                .map(|outcome| wire::weighted_solve_response(job, &outcome))
+                .map(|outcome| (wire::weighted_solve_response(job, &outcome), outcome.stages))
                 .map_err(|e| e.to_string())
         }),
         Workload::Max2Sat(job) => guarded(|| {
@@ -504,7 +678,7 @@ fn run_workload(
                 // the SDP's slot 1 — mirroring the circuit seed ladder.
                 SplitMix64::derive(job.seed, 2),
             )
-            .map(|solution| wire::max2sat_response(job, &solution))
+            .map(|solution| (wire::max2sat_response(job, &solution), StageTimings::default()))
             .map_err(|e| e.to_string())
         }),
         Workload::MaxDicut(job) => guarded(|| {
@@ -514,7 +688,7 @@ fn run_workload(
                 job.samples as usize,
                 SplitMix64::derive(job.seed, 2),
             )
-            .map(|solution| wire::maxdicut_response(job, &solution))
+            .map(|solution| (wire::maxdicut_response(job, &solution), StageTimings::default()))
             .map_err(|e| e.to_string())
         }),
     }
@@ -529,20 +703,27 @@ fn run_workload(
 fn solve(body: &[u8], shared: &Arc<Shared>, reply_to: ReplyTo) -> Result<Routed, HttpError> {
     let workload =
         wire::parse_request(body, &shared.defaults).map_err(|e| HttpError::new(400, e.0))?;
+    let family = workload_family(&workload);
+    let meta = |outcome: &'static str| ResponseMeta {
+        family,
+        outcome,
+        ..ResponseMeta::new("solve")
+    };
     let key = shared.response_cache.as_ref().map(|cache| {
         let key = wire::response_key(&workload);
         (Arc::clone(cache), key)
     });
     if let Some((cache, key)) = &key {
         if let Some(cached) = cache.get(key) {
-            return Ok(Routed::Ready(200, String::clone(&cached)));
+            return Ok(Routed::Ready(200, String::clone(&cached), meta("hit")));
         }
     }
-    // The closure captures the mailbox, caches, and defaults only —
-    // never `Arc<Shared>`, which owns the pool it runs on (see the
-    // `Shared` docs).
+    // The closure captures the mailbox, caches, metrics, and defaults
+    // only — never `Arc<Shared>`, which owns the pool it runs on (see
+    // the `Shared` docs).
     let mailbox = Arc::clone(&shared.mailbox);
     let sdp_cache = shared.sdp_cache.clone();
+    let metrics = Arc::clone(&shared.metrics);
     let defaults = shared.defaults.clone();
     shared
         .pool
@@ -551,17 +732,23 @@ fn solve(body: &[u8], shared: &Arc<Shared>, reply_to: ReplyTo) -> Result<Routed,
             // extra catch covers rendering/cache-insert so a completion
             // is *always* delivered — a parked connection must never be
             // stranded by a worker that died between solve and deliver.
+            let solve_started = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let rendered = run_workload(&workload, &defaults, sdp_cache.as_deref())
-                    .map(|tree| tree.render())?;
+                let (tree, stages) = run_workload(&workload, &defaults, sdp_cache.as_deref())?;
+                let rendered = tree.render();
                 if let Some((cache, key)) = key {
                     cache.insert(key, rendered.clone());
                 }
-                Ok(rendered)
+                Ok((rendered, stages))
             }))
             .unwrap_or_else(|_| Err((500, "internal error: solver panicked".to_string())));
             let (status, body) = match outcome {
-                Ok(rendered) => (200, rendered),
+                Ok((rendered, stages)) => {
+                    let total_us = u64::try_from(solve_started.elapsed().as_micros())
+                        .unwrap_or(u64::MAX);
+                    metrics.record_solve_stages(family, &stages, total_us);
+                    (200, rendered)
+                }
                 Err((status, message)) => (status, wire::error_body(&message)),
             };
             mailbox.deliver(Completion {
@@ -572,14 +759,20 @@ fn solve(body: &[u8], shared: &Arc<Shared>, reply_to: ReplyTo) -> Result<Routed,
             });
         })
         .map_err(|_| HttpError::new(503, "solver queue is full, retry later"))?;
-    Ok(Routed::Dispatched)
+    Ok(Routed::Dispatched(meta("miss")))
 }
 
 /// `POST /jobs`: parse, record, schedule; the worker finishes the
 /// record. Answers 202 with the job id.
-fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpError> {
+fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<Routed, HttpError> {
     let workload =
         wire::parse_request(body, &shared.defaults).map_err(|e| HttpError::new(400, e.0))?;
+    let family = workload_family(&workload);
+    let meta = |outcome: &'static str| ResponseMeta {
+        family,
+        outcome,
+        ..ResponseMeta::new("jobs")
+    };
     let key = shared.response_cache.as_ref().map(|cache| {
         let key = wire::response_key(&workload);
         (Arc::clone(cache), key)
@@ -595,29 +788,38 @@ fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
                 .map_err(|e| format!("internal error: cached body unparsable: {e}"));
             shared.store.finish(id, result);
             let status = shared.store.get(id).map_or("done", |s| s.name());
-            return Ok((
+            return Ok(Routed::Ready(
                 202,
                 Json::Obj(vec![
                     ("id".into(), Json::UInt(id)),
                     ("status".into(), Json::str(status)),
                 ])
                 .render(),
+                meta("hit"),
             ));
         }
     }
     let id = shared.store.insert();
-    // The closure captures the store and caches only — never
+    // The closure captures the store, caches, and metrics only — never
     // `Arc<Shared>`, which owns the pool the closure runs on (see the
     // `Shared` docs).
     let store = Arc::clone(&shared.store);
     let sdp_cache = shared.sdp_cache.clone();
+    let metrics = Arc::clone(&shared.metrics);
     let defaults = shared.defaults.clone();
     let submitted = shared.pool.try_submit(move || {
         store.set_running(id);
         // run_workload contains panics, so the record always reaches a
         // terminal state — a poller can never see `running` forever.
+        let solve_started = Instant::now();
         let result = run_workload(&workload, &defaults, sdp_cache.as_deref())
             .map_err(|(_, message)| message);
+        let result = result.map(|(tree, stages)| {
+            let total_us =
+                u64::try_from(solve_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            metrics.record_solve_stages(family, &stages, total_us);
+            tree
+        });
         if let (Some((cache, key)), Ok(tree)) = (key, &result) {
             cache.insert(key, tree.render());
         }
@@ -627,13 +829,14 @@ fn submit_job(body: &[u8], shared: &Arc<Shared>) -> Result<(u16, String), HttpEr
         shared.store.remove(id);
         return Err(HttpError::new(503, "solver queue is full, retry later"));
     }
-    Ok((
+    Ok(Routed::Ready(
         202,
         Json::Obj(vec![
             ("id".into(), Json::UInt(id)),
             ("status".into(), Json::str("queued")),
         ])
         .render(),
+        meta("miss"),
     ))
 }
 

@@ -9,6 +9,8 @@
 //! * [`snc_neuro`] — LIF neurons, populations, synaptic plasticity.
 //! * [`snc_maxcut`] — MAXCUT solvers and the LIF-GW / LIF-Trevisan circuits.
 //! * [`snc_experiments`] — the harness regenerating the paper's figures.
+//! * [`snc_metrics`] — dependency-free metrics primitives (counters,
+//!   gauges, log-linear histograms, Prometheus-style exposition).
 //! * [`snc_server`] — the concurrent MAXCUT solve service (HTTP job
 //!   queue over the batched samplers).
 
@@ -17,5 +19,6 @@ pub use snc_experiments;
 pub use snc_graph;
 pub use snc_linalg;
 pub use snc_maxcut;
+pub use snc_metrics;
 pub use snc_neuro;
 pub use snc_server;

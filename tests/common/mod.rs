@@ -54,13 +54,31 @@ pub fn try_roundtrip(
     path: &str,
     body: &str,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _head, payload) = roundtrip_with_headers(addr, method, path, &[], body)?;
+    Ok((status, payload))
+}
+
+/// One round-trip with caller-supplied extra request headers, returning
+/// the response head alongside the body — the observability suites send
+/// `x-snc-request-id` and assert on its echo.
+pub fn roundtrip_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<(u16, String, String)> {
     let mut stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
     stream.set_nodelay(true)?;
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: snc\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: snc\r\n");
+    for (name, value) in headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
+    request.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    );
+    ));
     stream.write_all(request.as_bytes())?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
@@ -74,9 +92,20 @@ pub fn try_roundtrip(
                 format!("malformed status line in {response:?}"),
             )
         })?;
-    let payload = response
+    let (head, payload) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, payload))
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((response.clone(), String::new()));
+    Ok((status, head, payload))
+}
+
+/// Extracts one response-header value (case-insensitive name match)
+/// from a head returned by [`roundtrip_with_headers`].
+pub fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.trim()
+            .eq_ignore_ascii_case(name)
+            .then(|| value.trim().to_string())
+    })
 }

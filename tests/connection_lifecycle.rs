@@ -132,8 +132,14 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 /// Strips the per-response timing header, the only frame content that
 /// legitimately varies between byte-identical requests.
 fn normalize_head(head: &str) -> String {
+    // Per-request tracing metadata (elapsed µs, minted request id) is
+    // nondeterministic by design; framing equivalence is about the
+    // status line, content-length, and connection headers.
     head.lines()
-        .filter(|line| !line.to_ascii_lowercase().starts_with("x-snc-elapsed-us:"))
+        .filter(|line| {
+            let lower = line.to_ascii_lowercase();
+            !lower.starts_with("x-snc-elapsed-us:") && !lower.starts_with("x-snc-request-id:")
+        })
         .collect::<Vec<_>>()
         .join("\n")
 }

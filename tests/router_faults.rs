@@ -20,7 +20,10 @@ use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 mod common;
-use common::{reserve_port, roundtrip, spawn_listening, spawn_server, try_roundtrip, SpawnedProcess};
+use common::{
+    header_value, reserve_port, roundtrip, roundtrip_with_headers, spawn_listening, spawn_server,
+    try_roundtrip, SpawnedProcess,
+};
 
 /// Distinct-fingerprint corpus: 16 cheap instances. Routing is
 /// deterministic (the ring hashes backend indices), so coverage of all
@@ -305,6 +308,133 @@ fn whole_fleet_down_answers_clean_fast_503() {
     // Async polling a job on a dead fleet is equally clean.
     let (status, _) = roundtrip(router.addr(), "GET", "/jobs/0", "");
     assert_eq!(status, 503, "polling a job on a down backend must 503");
+}
+
+/// Request-id correlation across tiers under fault injection: ids the
+/// client mints are echoed by the edge, propagated to the serving
+/// backend's access log, and — after a SIGKILL mid-traffic — the
+/// retried request carries the *same* id into the surviving backend's
+/// log, so one grep strings the whole failover story together.
+#[test]
+fn request_ids_correlate_across_tiers_and_survive_failover() {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir();
+    let backend_logs: Vec<String> = (0..3)
+        .map(|i| {
+            dir.join(format!("snc-faults-backend-{pid}-{i}.log"))
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    let router_log = dir
+        .join(format!("snc-faults-router-{pid}.log"))
+        .to_string_lossy()
+        .into_owned();
+    let mut backends: Vec<SpawnedProcess> = backend_logs
+        .iter()
+        .map(|path| spawn_server(&["--threads", "2", "--access-log", path]))
+        .collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(SpawnedProcess::addr).collect();
+    let router = spawn_router_args(
+        &addrs,
+        &[
+            "--probe-interval-ms", "200",
+            "--probe-timeout-ms", "500",
+            "--down-after", "2",
+            "--up-after", "2",
+            "--retries", "2",
+            "--access-log", &router_log,
+        ],
+    );
+    let corpus = corpus();
+    let read = |path: &str| std::fs::read_to_string(path).unwrap_or_default();
+
+    // Warm pass with client-minted ids: the echo must be verbatim.
+    let warm_ids: Vec<String> = (0..corpus.len())
+        .map(|i| format!("corr-warm-{pid}-{i}"))
+        .collect();
+    for (request, id) in corpus.iter().zip(&warm_ids) {
+        let (status, head, _body) = roundtrip_with_headers(
+            router.addr(),
+            "POST",
+            "/solve",
+            &[("x-snc-request-id", id)],
+            request,
+        )
+        .expect("warm round-trip");
+        assert_eq!(status, 200);
+        assert_eq!(
+            header_value(&head, "x-snc-request-id").as_deref(),
+            Some(id.as_str()),
+            "edge must echo the client's id"
+        );
+    }
+    // Every id is in the router log and exactly one backend log (the
+    // id rode the proxied request to the one backend that served it).
+    // Match the full `id=… ` token — bare substring search would let
+    // `…-1` hide inside `…-10`.
+    let token = |id: &str| format!("id={id} ");
+    let router_text = read(&router_log);
+    let warm_texts: Vec<String> = backend_logs.iter().map(|p| read(p)).collect();
+    for id in &warm_ids {
+        assert!(
+            router_text.contains(&token(id)),
+            "id {id} missing from the router access log"
+        );
+        let holders = warm_texts.iter().filter(|t| t.contains(&token(id))).count();
+        assert_eq!(holders, 1, "id {id} must appear in exactly one backend log");
+    }
+
+    // Kill the busiest backend; remember which requests it had served.
+    let warm = router_health(router.addr());
+    let victim = (0..3).max_by_key(|&i| warm.routed[i]).unwrap();
+    let victim_requests: Vec<usize> = (0..corpus.len())
+        .filter(|&i| warm_texts[victim].contains(&token(&warm_ids[i])))
+        .collect();
+    assert!(!victim_requests.is_empty(), "victim served nothing: {:?}", warm.routed);
+    backends[victim].kill();
+
+    // Replay with fresh ids. For requests the victim owned, attempt 1
+    // dies on TCP and the retry carries the SAME id to a survivor.
+    let retry_ids: Vec<String> = (0..corpus.len())
+        .map(|i| format!("corr-retry-{pid}-{i}"))
+        .collect();
+    for (request, id) in corpus.iter().zip(&retry_ids) {
+        let (status, head, _body) = roundtrip_with_headers(
+            router.addr(),
+            "POST",
+            "/solve",
+            &[("x-snc-request-id", id)],
+            request,
+        )
+        .expect("post-kill round-trip");
+        assert_eq!(status, 200, "client saw a failure after the kill");
+        assert_eq!(
+            header_value(&head, "x-snc-request-id").as_deref(),
+            Some(id.as_str()),
+            "failover must not change the echoed id"
+        );
+    }
+    let after_texts: Vec<String> = backend_logs.iter().map(|p| read(p)).collect();
+    for &i in &victim_requests {
+        let id = &retry_ids[i];
+        let holders: Vec<usize> =
+            (0..3).filter(|&b| after_texts[b].contains(&token(id))).collect();
+        assert!(
+            !holders.contains(&victim),
+            "id {id} in the dead victim's log — the kill did not take"
+        );
+        assert_eq!(
+            holders.len(),
+            1,
+            "retried id {id} must land in exactly one survivor's log, found {holders:?}"
+        );
+    }
+
+    drop(router);
+    for path in backend_logs.iter().chain([&router_log]) {
+        let _ = std::fs::remove_file(path);
+    }
 }
 
 #[test]
