@@ -15,6 +15,19 @@
 //! be byte-identical to the single-backend fleet's (routing must never
 //! change bytes).
 //!
+//! Each topology is measured twice: `pooled` (the default keep-alive
+//! connection pool between router and backends) and `fresh`
+//! (`--pool-idle-per-backend 0`, the PR 7 connection-per-forward
+//! behavior). The byte-identity gate covers both variants — pooling
+//! must never change bytes, only latency.
+//!
+//! The timed groups drive **persistent** client connections admitted
+//! before timing starts (see [`Client`]); the PR 7 shape reconnected
+//! every iteration, which phase-locks to the router's 50 ms
+//! accept-poll tick and quantizes every sub-50 ms iteration to one
+//! tick. PR 10 numbers are therefore not comparable to the PR 7 rows
+//! — the cross-PR claim is recomputed in `results/BENCH_PR10.json`.
+//!
 //! Caveat for the ledger: on a single-core container the backend
 //! processes share one CPU, so adding backends cannot add parallel
 //! compute; what scaling remains comes from cache-hit concurrency.
@@ -39,7 +52,7 @@ fn corpus() -> Vec<String> {
         .collect()
 }
 
-fn spawn_fleet(backends: usize) -> (Vec<SpawnedProcess>, SpawnedProcess) {
+fn spawn_fleet(backends: usize, extra: &[&str]) -> (Vec<SpawnedProcess>, SpawnedProcess) {
     let servers: Vec<SpawnedProcess> = (0..backends)
         .map(|_| spawn_server(&["--threads", "2"]))
         .collect();
@@ -48,6 +61,7 @@ fn spawn_fleet(backends: usize) -> (Vec<SpawnedProcess>, SpawnedProcess) {
         args.push("--backend".into());
         args.push(server.addr().to_string());
     }
+    args.extend(extra.iter().map(|s| (*s).to_string()));
     let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
     let router = spawn_listening("snc-router", &arg_refs);
     (servers, router)
@@ -83,30 +97,48 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> String {
     String::from_utf8(body).expect("utf-8 body")
 }
 
-/// One connection's work: the whole corpus once over keep-alive.
-fn drive_connection(addr: SocketAddr, corpus: &[String]) -> Vec<String> {
+/// A persistent keep-alive client connection. The timed groups reuse
+/// these across iterations: the router admits *new* client connections
+/// on a 50 ms accept-poll cadence, so a bench shape that reconnects
+/// per iteration phase-locks to that tick (every iteration under 50 ms
+/// of real work measures as exactly one poll period, masking the
+/// per-request hop entirely). Holding the clients open keeps the timed
+/// region to the steady-state path: request → ring → forward → relay.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn open_client(addr: SocketAddr) -> Client {
     let stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .expect("timeout");
-    let mut writer = stream.try_clone().expect("clone");
-    let mut reader = BufReader::new(stream);
+    let writer = stream.try_clone().expect("clone");
+    Client {
+        writer,
+        reader: BufReader::new(stream),
+    }
+}
+
+/// One sequential sweep of the corpus over an open connection.
+fn sweep(client: &mut Client, corpus: &[String]) -> Vec<String> {
     corpus
         .iter()
         .map(|body| {
-            writer.write_all(&request_bytes(body)).expect("send");
-            writer.flush().expect("flush");
-            read_response(&mut reader)
+            client.writer.write_all(&request_bytes(body)).expect("send");
+            client.writer.flush().expect("flush");
+            read_response(&mut client.reader)
         })
         .collect()
 }
 
-/// C concurrent connections × the corpus each; returns every body in
-/// corpus order per connection.
+/// C fresh concurrent connections × the corpus each (used for the
+/// warm/byte-identity gate, where admission latency is irrelevant).
 fn round(addr: SocketAddr, connections: usize, corpus: &[String]) -> Vec<Vec<String>> {
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..connections)
-            .map(|_| scope.spawn(move || drive_connection(addr, corpus)))
+            .map(|_| scope.spawn(move || sweep(&mut open_client(addr), corpus)))
             .collect();
         workers
             .into_iter()
@@ -120,29 +152,59 @@ fn router_throughput(c: &mut Criterion) {
     let mut reference: Option<Vec<String>> = None;
     let mut group = c.benchmark_group("router_throughput_warm");
     for backends in [1usize, 2, 3] {
-        let (servers, router) = spawn_fleet(backends);
-        let addr = router.addr();
+        // `pooled` is the default keep-alive pool; `fresh` is the
+        // pool-disabled escape hatch (one connection per forward).
+        for (variant, extra) in [
+            ("pooled", &[][..]),
+            ("fresh", &["--pool-idle-per-backend", "0"][..]),
+        ] {
+            let (servers, router) = spawn_fleet(backends, extra);
+            let addr = router.addr();
 
-        // Warm pass (fills every backend's response cache) doubles as
-        // the determinism gate: all connections, and all topologies,
-        // must see byte-identical bodies per corpus entry.
-        let warm = round(addr, 4, &corpus);
-        for per_conn in &warm {
-            assert_eq!(per_conn, &warm[0], "bodies diverged across connections");
-        }
-        match &reference {
-            None => reference = Some(warm[0].clone()),
-            Some(expected) => assert_eq!(
-                &warm[0], expected,
-                "bodies diverged between fleet topologies ({backends} backends)"
-            ),
-        }
+            // Warm pass (fills every backend's response cache) doubles
+            // as the determinism gate: all connections, topologies, and
+            // pool variants must see byte-identical bodies per corpus
+            // entry.
+            let warm = round(addr, 4, &corpus);
+            for per_conn in &warm {
+                assert_eq!(per_conn, &warm[0], "bodies diverged across connections");
+            }
+            match &reference {
+                None => reference = Some(warm[0].clone()),
+                Some(expected) => assert_eq!(
+                    &warm[0], expected,
+                    "bodies diverged across topologies/variants ({backends} backends, {variant})"
+                ),
+            }
 
-        group.bench_function(format!("solve_warm_backends{backends}_conns8"), |b| {
-            b.iter(|| round(addr, 8, &corpus));
-        });
-        drop(router);
-        drop(servers);
+            // Persistent clients (see `Client`): admitted once outside
+            // timing, then 8 connections × 4 corpus sweeps × 6 entries
+            // = 192 warm requests per iteration.
+            let mut clients: Vec<Client> = (0..8).map(|_| open_client(addr)).collect();
+            for client in &mut clients {
+                let got = sweep(client, &corpus);
+                assert_eq!(&got, &warm[0], "persistent client diverged");
+            }
+            group.bench_function(
+                format!("solve_warm_backends{backends}_conns8_{variant}"),
+                |b| {
+                    b.iter(|| {
+                        std::thread::scope(|scope| {
+                            for client in &mut clients {
+                                let corpus = &corpus;
+                                scope.spawn(move || {
+                                    for _ in 0..4 {
+                                        sweep(client, corpus);
+                                    }
+                                });
+                            }
+                        });
+                    });
+                },
+            );
+            drop(router);
+            drop(servers);
+        }
     }
     group.finish();
 }

@@ -10,37 +10,93 @@
 use crate::mix64;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
-/// An append-only, line-oriented log file shared across threads.
+/// The open file handle plus how many bytes it currently holds (tracked
+/// so rotation never has to stat the file on the write path).
+#[derive(Debug)]
+struct LogFile {
+    file: File,
+    bytes: u64,
+}
+
+/// An append-only, line-oriented log file shared across threads, with
+/// optional size-based rotation.
 ///
 /// Each [`AccessLog::write`] takes the mutex, writes `line` plus a
 /// newline in a single `write_all`, and flushes — so lines from
 /// concurrent writers never interleave and are durable as soon as the
 /// call returns.
+///
+/// When opened via [`AccessLog::open_rotating`] with a non-zero byte
+/// budget, a write that would push the current file past the budget
+/// first renames it to `<path>.1` (replacing any previous rotation) and
+/// reopens a fresh file at `path`. Rotation happens only at line
+/// boundaries — a line is never split across the two files — and the
+/// line that triggered the rotation lands whole in the fresh file. An
+/// oversized single line (longer than the whole budget) is still
+/// written intact rather than dropped.
 #[derive(Debug)]
 pub struct AccessLog {
-    file: Mutex<File>,
+    inner: Mutex<LogFile>,
+    path: PathBuf,
+    rotated_path: PathBuf,
+    max_bytes: u64,
 }
 
 impl AccessLog {
-    /// Opens (creating if needed) `path` for appending.
+    /// Opens (creating if needed) `path` for appending, without
+    /// rotation.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<AccessLog> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(AccessLog { file: Mutex::new(file) })
+        AccessLog::open_rotating(path, 0)
+    }
+
+    /// Opens (creating if needed) `path` for appending, rotating to
+    /// `<path>.1` whenever the file would grow past `max_bytes`
+    /// (0 disables rotation — identical to [`AccessLog::open`]).
+    pub fn open_rotating(path: impl AsRef<Path>, max_bytes: u64) -> std::io::Result<AccessLog> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let mut rotated = path.clone().into_os_string();
+        rotated.push(".1");
+        Ok(AccessLog {
+            inner: Mutex::new(LogFile { file, bytes }),
+            rotated_path: PathBuf::from(rotated),
+            path,
+            max_bytes,
+        })
     }
 
     /// Appends one line (a trailing newline is added). Write errors are
-    /// swallowed: losing a log line must never fail a request.
+    /// swallowed: losing a log line must never fail a request. Rotation
+    /// errors are equally swallowed — if the rename or reopen fails, the
+    /// log keeps appending to the handle it has rather than dropping
+    /// lines.
     pub fn write(&self, line: &str) {
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
-        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
-        let _ = file.write_all(&buf);
-        let _ = file.flush();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.max_bytes > 0
+            && inner.bytes > 0
+            && inner.bytes + buf.len() as u64 > self.max_bytes
+        {
+            let _ = inner.file.flush();
+            if std::fs::rename(&self.path, &self.rotated_path).is_ok() {
+                if let Ok(file) = OpenOptions::new().create(true).append(true).open(&self.path) {
+                    inner.file = file;
+                    inner.bytes = 0;
+                }
+                // On reopen failure the old handle still points at the
+                // renamed file: lines keep landing there, never lost.
+            }
+        }
+        let _ = inner.file.write_all(&buf);
+        let _ = inner.file.flush();
+        inner.bytes += buf.len() as u64;
     }
 }
 
@@ -122,6 +178,80 @@ mod tests {
         assert!(!valid_request_id("has space"));
         assert!(!valid_request_id("newline\n"));
         assert!(!valid_request_id("quote\"d"));
+    }
+
+    #[test]
+    fn rotation_preserves_every_line_and_never_splits() {
+        let dir = std::env::temp_dir().join(format!("snc-metrics-rotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rotate.log");
+        let rotated = dir.join("rotate.log.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+        // Each line is 20 bytes on disk ("line-NNN" padded + newline);
+        // a 100-byte budget rotates after every 5 lines. Writing 9
+        // lines triggers exactly one rotation, so nothing ages out of
+        // the two retained generations and loss would be visible.
+        let log = AccessLog::open_rotating(&path, 100).unwrap();
+        let lines: Vec<String> = (0..9).map(|i| format!("line-{i:03}-{}", "x".repeat(10))).collect();
+        for line in &lines {
+            log.write(line);
+        }
+        let old = std::fs::read_to_string(&rotated).unwrap();
+        let new = std::fs::read_to_string(&path).unwrap();
+        let survived: Vec<&str> = old.lines().chain(new.lines()).collect();
+        assert_eq!(
+            survived,
+            lines.iter().map(String::as_str).collect::<Vec<_>>(),
+            "rotation lost, split, or reordered a line"
+        );
+        assert_eq!(old.len() as u64, 100, "rotation fired at the budget boundary");
+        assert!(new.len() as u64 <= 100, "current file exceeds the budget");
+        // An oversized single line still lands whole (in a fresh file).
+        let huge = "h".repeat(300);
+        log.write(&huge);
+        let after = std::fs::read_to_string(&path).unwrap();
+        assert!(after.contains(&huge), "oversized line was dropped or split");
+        for p in [&path, &rotated] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn concurrent_rotation_keeps_lines_whole() {
+        let dir = std::env::temp_dir().join(format!("snc-metrics-rotate-mt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mt.log");
+        let rotated = dir.join("mt.log.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+        let log = AccessLog::open_rotating(&path, 400).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let log = &log;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        log.write(&format!("t{t}-i{i:03}-{}", "y".repeat(12)));
+                    }
+                });
+            }
+        });
+        // Older generations are deliberately discarded, but every line
+        // that survives in either retained file must be intact — no
+        // torn writes, no interleaving, no split across the boundary.
+        let old = std::fs::read_to_string(&rotated).unwrap_or_default();
+        let new = std::fs::read_to_string(&path).unwrap();
+        for text in [&old, &new] {
+            assert!(text.is_empty() || text.ends_with('\n'), "file ends mid-line");
+            for line in text.lines() {
+                assert_eq!(line.len(), 20, "torn line {line:?}");
+                assert!(line.starts_with('t') && line.contains("-i"), "garbled line {line:?}");
+            }
+        }
+        assert!(new.len() as u64 <= 400, "current file exceeds the budget");
+        for p in [&path, &rotated] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -54,6 +54,17 @@ pub struct RouterConfig {
     /// route, family, outcome, status, elapsed µs) to this path.
     /// `None` disables access logging.
     pub access_log: Option<String>,
+    /// Rotate the access log (rename to `<path>.1`, reopen) whenever it
+    /// would grow past this many bytes. 0 disables rotation.
+    pub access_log_max_bytes: u64,
+    /// Keep-alive connections parked per backend. 0 disables pooling
+    /// entirely — every forward opens a fresh connection and asks the
+    /// backend to close it, reproducing the pre-pool wire behavior
+    /// bit-for-bit.
+    pub pool_idle_per_backend: usize,
+    /// How long a parked connection stays eligible for reuse; older
+    /// idles are retired at checkout. Irrelevant when pooling is off.
+    pub pool_idle_timeout: Duration,
 }
 
 impl Default for RouterConfig {
@@ -72,6 +83,9 @@ impl Default for RouterConfig {
             max_body_bytes: 1 << 20,
             replicas: 1,
             access_log: None,
+            access_log_max_bytes: 0,
+            pool_idle_per_backend: 8,
+            pool_idle_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -164,13 +178,25 @@ pub fn parse_args(args: &[String]) -> Result<RouterConfig, String> {
             "--access-log" => {
                 cfg.access_log = Some(it.next().ok_or("--access-log needs a PATH value")?.clone());
             }
+            "--access-log-max-bytes" => {
+                cfg.access_log_max_bytes =
+                    non_negative(it.next(), "--access-log-max-bytes")? as u64;
+            }
+            "--pool-idle-per-backend" => {
+                cfg.pool_idle_per_backend = non_negative(it.next(), "--pool-idle-per-backend")?;
+            }
+            "--pool-idle-timeout-ms" => {
+                cfg.pool_idle_timeout =
+                    Duration::from_millis(positive(it.next(), "--pool-idle-timeout-ms")?);
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}`\nusage: snc-router --backend HOST:PORT[@WEIGHT] \
                      [--backend …] [--addr HOST:PORT] [--vnodes N] [--probe-interval-ms N] \
                      [--probe-timeout-ms N] [--down-after N] [--up-after N] [--retries N] \
                      [--connect-timeout-ms N] [--backend-read-timeout-ms N] [--replicas N] \
-                     [--access-log PATH]"
+                     [--access-log PATH] [--access-log-max-bytes N] \
+                     [--pool-idle-per-backend N] [--pool-idle-timeout-ms N]"
                 ));
             }
         }
@@ -267,5 +293,29 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.access_log.as_deref(), Some("/tmp/router.log"));
         assert!(parse_args(&strs(&["--backend", "127.0.0.1:1", "--access-log"])).is_err());
+    }
+
+    #[test]
+    fn pool_and_rotation_flags_parse() {
+        let cfg = parse_args(&strs(&["--backend", "127.0.0.1:1"])).unwrap();
+        assert_eq!(cfg.pool_idle_per_backend, 8, "pooling defaults on");
+        assert_eq!(cfg.pool_idle_timeout, Duration::from_secs(10));
+        assert_eq!(cfg.access_log_max_bytes, 0, "rotation defaults off");
+        let cfg = parse_args(&strs(&[
+            "--backend", "127.0.0.1:1",
+            "--pool-idle-per-backend", "0",
+            "--pool-idle-timeout-ms", "2500",
+            "--access-log-max-bytes", "65536",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.pool_idle_per_backend, 0, "0 = pooling disabled");
+        assert_eq!(cfg.pool_idle_timeout, Duration::from_millis(2500));
+        assert_eq!(cfg.access_log_max_bytes, 65536);
+        assert!(
+            parse_args(&strs(&["--backend", "127.0.0.1:1", "--pool-idle-timeout-ms", "0"]))
+                .is_err(),
+            "a zero idle timeout would retire every connection at checkout"
+        );
+        assert!(parse_args(&strs(&["--backend", "127.0.0.1:1", "--pool-idle-per-backend"])).is_err());
     }
 }

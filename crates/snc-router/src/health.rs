@@ -115,8 +115,9 @@ impl HealthTable {
 
     /// Records a successful observation (probe 200 or proxied response)
     /// for backend `i`; re-admits it after `up_after` consecutive
-    /// successes.
-    pub fn observe_success(&self, i: usize, probe: bool) {
+    /// successes. Returns `true` when this observation is the one that
+    /// flipped the backend from down to up.
+    pub fn observe_success(&self, i: usize, probe: bool) -> bool {
         if probe {
             self.counters[i].probes_ok.fetch_add(1, Ordering::Relaxed);
         }
@@ -125,13 +126,17 @@ impl HealthTable {
         m.consecutive_ok = m.consecutive_ok.saturating_add(1);
         if !self.up[i].load(Ordering::Relaxed) && m.consecutive_ok >= self.up_after {
             self.up[i].store(true, Ordering::Relaxed);
+            return true;
         }
+        false
     }
 
     /// Records a failed observation (probe failure or connect/read/5xx
     /// proxy failure) for backend `i`; demotes it after `down_after`
-    /// consecutive failures.
-    pub fn observe_failure(&self, i: usize, probe: bool) {
+    /// consecutive failures. Returns `true` when this observation is
+    /// the one that flipped the backend from up to down — the caller's
+    /// cue to drain any resources (pooled connections) tied to it.
+    pub fn observe_failure(&self, i: usize, probe: bool) -> bool {
         if probe {
             self.counters[i].probes_failed.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -142,7 +147,9 @@ impl HealthTable {
         m.consecutive_fail = m.consecutive_fail.saturating_add(1);
         if self.up[i].load(Ordering::Relaxed) && m.consecutive_fail >= self.down_after {
             self.up[i].store(false, Ordering::Relaxed);
+            return true;
         }
+        false
     }
 
     /// Credits backend `i` with one successfully proxied request.
@@ -190,13 +197,15 @@ pub fn probe_backend(addr: SocketAddr, timeout: Duration) -> bool {
 /// The background probe loop: sweeps every backend each `interval`
 /// until `shutdown` flips, feeding outcomes into the health table.
 /// Sleeps in short slices so shutdown is prompt even with long
-/// intervals.
+/// intervals. `on_demote(i)` fires on the sweep that marks backend `i`
+/// down — the router uses it to drain the victim's pooled connections.
 pub fn probe_loop(
     backends: Vec<SocketAddr>,
     table: Arc<HealthTable>,
     interval: Duration,
     timeout: Duration,
     shutdown: Arc<AtomicBool>,
+    on_demote: impl Fn(usize),
 ) {
     const SLICE: Duration = Duration::from_millis(20);
     while !shutdown.load(Ordering::SeqCst) {
@@ -206,8 +215,8 @@ pub fn probe_loop(
             }
             if probe_backend(addr, timeout) {
                 table.observe_success(i, true);
-            } else {
-                table.observe_failure(i, true);
+            } else if table.observe_failure(i, true) {
+                on_demote(i);
             }
         }
         let mut slept = Duration::ZERO;
@@ -269,6 +278,17 @@ mod tests {
         assert_eq!(t.snapshot(0).routed, 2);
         assert_eq!(t.snapshot(1).routed, 1);
         assert_eq!(t.routed.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn observations_report_the_transition_edge_exactly_once() {
+        let t = HealthTable::new(1, 2, 2);
+        assert!(!t.observe_failure(0, false), "first failure is not an edge");
+        assert!(t.observe_failure(0, false), "second consecutive failure demotes");
+        assert!(!t.observe_failure(0, false), "already down: no edge");
+        assert!(!t.observe_success(0, false), "first success is not an edge");
+        assert!(t.observe_success(0, false), "second consecutive success re-admits");
+        assert!(!t.observe_success(0, false), "already up: no edge");
     }
 
     #[test]

@@ -26,17 +26,22 @@
 //! * [`proxy`] — the edge process: acceptor, keyed forwarding with
 //!   bounded retry-on-another-replica, job-id re-keying, aggregated
 //!   health.
+//! * [`pool`] — per-backend keep-alive connection pool (bounded idle
+//!   stacks, stale-retry accounting, drain-on-demotion).
 //! * [`metrics`] — the edge's `/metrics` registry (request latency
-//!   histograms plus scrape-time mirrors of the health-table tallies).
+//!   histograms plus scrape-time mirrors of the health-table and pool
+//!   tallies).
 //! * [`config`] — the binary's flags.
 
 pub mod config;
 pub mod health;
 pub mod metrics;
+pub mod pool;
 pub mod proxy;
 pub mod ring;
 
 pub use config::{parse_args, parse_backend, BackendSpec, RouterConfig};
 pub use health::{probe_backend, BackendSnapshot, HealthTable};
+pub use pool::{ConnectionPool, PoolSnapshot};
 pub use proxy::{serve_router, RouterHandle};
 pub use ring::{HashRing, DEFAULT_VNODES};

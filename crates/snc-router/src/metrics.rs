@@ -77,6 +77,46 @@ impl RouterMetrics {
             .set(i64::try_from(backends_up).unwrap_or(i64::MAX));
     }
 
+    /// Mirrors the connection pool's accounting onto the registry
+    /// (scrape time, same snapshot `/healthz` reports).
+    pub fn sync_pool(&self, idle: u64, created: u64, reused: u64, retired: u64, stale_retries: u64) {
+        self.registry
+            .gauge(
+                "snc_router_pool_idle",
+                "Keep-alive backend connections currently parked in the pool",
+                &[],
+            )
+            .set(i64::try_from(idle).unwrap_or(i64::MAX));
+        self.registry
+            .counter(
+                "snc_router_pool_created_total",
+                "Backend connections dialed (fresh connects)",
+                &[],
+            )
+            .set_total(created);
+        self.registry
+            .counter(
+                "snc_router_pool_reused_total",
+                "Checkouts satisfied by a parked keep-alive connection",
+                &[],
+            )
+            .set_total(reused);
+        self.registry
+            .counter(
+                "snc_router_pool_retired_total",
+                "Backend connections closed (expired, drained, or not poolable)",
+                &[],
+            )
+            .set_total(retired);
+        self.registry
+            .counter(
+                "snc_router_pool_stale_retries_total",
+                "Transport errors on reused connections absorbed by a fresh-connection retry",
+                &[],
+            )
+            .set_total(stale_retries);
+    }
+
     /// Mirrors one backend's health-table counters onto the registry
     /// (scrape time), labelled by its ring-index-stable address.
     pub fn sync_backend(&self, addr: &str, up: bool, routed: u64, errors: u64) {
@@ -130,6 +170,18 @@ mod tests {
         assert!(text.contains("snc_router_backend_up{backend=\"127.0.0.1:7878\"} 1"));
         assert!(text.contains("snc_router_backend_up{backend=\"127.0.0.1:7879\"} 0"));
         assert!(text.contains("snc_router_backend_errors_total{backend=\"127.0.0.1:7879\"} 3"));
+    }
+
+    #[test]
+    fn pool_series_mirror_the_snapshot() {
+        let m = RouterMetrics::new();
+        m.sync_pool(2, 7, 5, 5, 1);
+        let text = m.registry.render();
+        assert!(text.contains("snc_router_pool_idle 2"));
+        assert!(text.contains("snc_router_pool_created_total 7"));
+        assert!(text.contains("snc_router_pool_reused_total 5"));
+        assert!(text.contains("snc_router_pool_retired_total 5"));
+        assert!(text.contains("snc_router_pool_stale_retries_total 1"));
     }
 
     #[test]

@@ -12,12 +12,23 @@
 //!                 │            HashRing::candidates(key) ∩ live backends
 //!                 │                        │ attempt 1 … 1+retries
 //!                 │                        ▼
-//!                 │            forward to backend snc-server over TCP
+//!                 │            ConnectionPool::checkout (keep-alive reuse;
+//!                 │                 │       fresh connect on empty stack)
+//!                 │                 │ stale reused conn ──▶ one fresh retry,
+//!                 │                 │                       same backend
 //!                 │                 │ connect/read error ──▶ next candidate
 //!                 │                 │ 5xx               ──▶ next candidate
 //!                 │                 ▼
 //!                 └──◀── relay backend body byte-for-byte ◀──┘
 //! ```
+//!
+//! Backend responses are framed **strictly**: the status line must be
+//! `HTTP/1.1 <100–599>`, duplicate or conflicting `Content-Length`
+//! headers are `InvalidData`, and a missing `Content-Length` is only
+//! legal when the backend explicitly said `Connection: close` (the one
+//! case where read-to-EOF framing is unambiguous). Anything looser
+//! would corrupt the stream the moment a connection carries a second
+//! request.
 //!
 //! The router never re-renders a solve response: the backend's body is
 //! relayed untouched, so the byte-identical wire contract survives the
@@ -35,6 +46,7 @@
 use crate::config::RouterConfig;
 use crate::health::{probe_loop, HealthTable};
 use crate::metrics::RouterMetrics;
+use crate::pool::{BackendConn, ConnectionPool};
 use crate::ring::HashRing;
 use snc_experiments::json::{self, Json};
 use snc_metrics::{AccessLog, RequestIds};
@@ -57,6 +69,7 @@ struct Shared {
     defaults: snc_server::wire::RequestDefaults,
     ring: HashRing,
     health: Arc<HealthTable>,
+    pool: Arc<ConnectionPool>,
     shutdown: Arc<AtomicBool>,
     metrics: RouterMetrics,
     request_ids: RequestIds,
@@ -88,7 +101,7 @@ pub fn serve_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let access_log = match &cfg.access_log {
-        Some(path) => Some(AccessLog::open(path)?),
+        Some(path) => Some(AccessLog::open_rotating(path, cfg.access_log_max_bytes)?),
         None => None,
     };
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -97,13 +110,28 @@ pub fn serve_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
         cfg.down_after,
         cfg.up_after,
     ));
+    let pool = Arc::new(ConnectionPool::new(
+        cfg.backends.len(),
+        cfg.pool_idle_per_backend,
+        cfg.pool_idle_timeout,
+        cfg.connect_timeout,
+        cfg.backend_read_timeout,
+    ));
     let prober = {
         let backends: Vec<SocketAddr> = cfg.backends.iter().map(|b| b.addr).collect();
         let table = Arc::clone(&health);
         let interval = cfg.probe_interval;
         let timeout = cfg.probe_timeout;
         let flag = Arc::clone(&shutdown);
-        std::thread::spawn(move || probe_loop(backends, table, interval, timeout, flag))
+        // Demotions (from probes) drain the victim's pooled sockets, so
+        // a down backend can never answer a first stale request after
+        // re-admission.
+        let drain_pool = Arc::clone(&pool);
+        std::thread::spawn(move || {
+            probe_loop(backends, table, interval, timeout, flag, move |backend| {
+                drain_pool.drain(backend);
+            });
+        })
     };
     let shared = Arc::new(Shared {
         // Parse with the same limits a default backend enforces, so the
@@ -115,6 +143,7 @@ pub fn serve_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
         .request_defaults(),
         ring: HashRing::new(&cfg.weights(), cfg.vnodes),
         health,
+        pool,
         shutdown: Arc::clone(&shutdown),
         metrics: RouterMetrics::new(),
         request_ids: RequestIds::from_env(),
@@ -417,9 +446,14 @@ fn healthz(shared: &Arc<Shared>) -> String {
                 ("probes_failed".into(), Json::UInt(snap.probes_failed)),
                 ("routed".into(), Json::UInt(snap.routed)),
                 ("errors".into(), Json::UInt(snap.errors)),
+                (
+                    "pool_idle".into(),
+                    Json::UInt(shared.pool.idle_count(i) as u64),
+                ),
             ])
         })
         .collect();
+    let pool = shared.pool.snapshot();
     let up = shared.health.up_count();
     let status = if up == shared.cfg.backends.len() {
         "ok"
@@ -448,6 +482,16 @@ fn healthz(shared: &Arc<Shared>) -> String {
             "failed".into(),
             Json::UInt(shared.health.failed.load(Ordering::Relaxed)),
         ),
+        (
+            "pool".into(),
+            Json::Obj(vec![
+                ("idle".into(), Json::UInt(pool.idle)),
+                ("created".into(), Json::UInt(pool.created)),
+                ("reused".into(), Json::UInt(pool.reused)),
+                ("retired".into(), Json::UInt(pool.retired)),
+                ("stale_retries".into(), Json::UInt(pool.stale_retries)),
+            ]),
+        ),
     ])
     .render()
 }
@@ -467,85 +511,205 @@ fn metrics_body(shared: &Arc<Shared>) -> String {
         let snap = shared.health.snapshot(i);
         m.sync_backend(&spec.addr.to_string(), snap.up, snap.routed, snap.errors);
     }
+    let pool = shared.pool.snapshot();
+    m.sync_pool(pool.idle, pool.created, pool.reused, pool.retired, pool.stale_retries);
     m.registry.render()
 }
 
-/// One forwarded HTTP round-trip to a backend: fresh connection,
-/// `Connection: close`, full response buffered before returning — so a
-/// retry can never interleave with bytes already relayed to the client.
-/// The edge's request id rides along in `x-snc-request-id`, so every
-/// attempt for one client request (including failover retries on other
-/// backends) carries the same id through the backends' access logs.
-fn forward_once(
-    addr: SocketAddr,
-    method: &str,
-    path: &str,
-    body: &[u8],
-    request_id: &str,
-    shared: &Shared,
-) -> std::io::Result<(u16, String)> {
-    let stream = TcpStream::connect_timeout(&addr, shared.cfg.connect_timeout)?;
-    stream.set_read_timeout(Some(shared.cfg.backend_read_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    writer.write_all(
-        format!(
-            "{method} {path} HTTP/1.1\r\nHost: snc-router\r\nx-snc-request-id: {request_id}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            body.len()
-        )
-        .as_bytes(),
-    )?;
-    writer.write_all(body)?;
-    writer.flush()?;
-    let mut reader = BufReader::new(stream);
+/// Header bytes a backend response may spend before the parser calls it
+/// hostile (`InvalidData`). Real backend heads are < 1 KiB.
+const MAX_RESPONSE_HEAD_BYTES: usize = 16 * 1024;
+
+fn invalid_data(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+/// One parsed backend response: status, body, and whether the stream is
+/// positioned at a clean boundary (explicit length, no `Connection:
+/// close`, nothing buffered past the body) and may be pooled.
+#[derive(Debug)]
+struct BackendResponse {
+    status: u16,
+    body: String,
+    reusable: bool,
+}
+
+/// Reads one strictly-framed HTTP/1.1 response from a backend stream.
+///
+/// Framing rules (violations are `InvalidData` — never a guess):
+///
+/// * the status line must be `HTTP/1.1 ` + a 3-digit code in 100–599
+///   (the malformed line is quoted in the error);
+/// * header lines must contain `:`;
+/// * `Content-Length` may appear at most once — duplicate headers are
+///   rejected even when they agree, because a response carrying two
+///   lengths is already evidence of desync or smuggling;
+/// * a body without `Content-Length` is close-delimited **only** when
+///   the backend explicitly sent `Connection: close`; otherwise there
+///   is no sound way to find the next response's start, so the exchange
+///   is rejected rather than read-to-end (PR 7 read to EOF here, which
+///   was only ever safe because every connection was close-mode).
+fn read_backend_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<BackendResponse> {
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
-    let status: u16 = status_line
-        .strip_prefix("HTTP/1.1 ")
-        .and_then(|rest| rest.split_whitespace().next())
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("malformed backend status line {status_line:?}"),
-            )
-        })?;
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "backend closed before sending a status line",
+        ));
+    }
+    let line = status_line.trim_end_matches(['\r', '\n']);
+    let rest = line.strip_prefix("HTTP/1.1 ").ok_or_else(|| {
+        invalid_data(format!("backend status line is not HTTP/1.1: {line:?}"))
+    })?;
+    let code = rest.as_bytes().get(..3).filter(|digits| {
+        digits.iter().all(u8::is_ascii_digit) && rest.as_bytes().get(3).is_none_or(|&b| b == b' ')
+    });
+    let status: u16 = code
+        .and_then(|digits| std::str::from_utf8(digits).ok())
+        .and_then(|digits| digits.parse().ok())
+        .ok_or_else(|| invalid_data(format!("malformed backend status line {line:?}")))?;
+    if !(100..=599).contains(&status) {
+        return Err(invalid_data(format!(
+            "backend status code {status} out of range in {line:?}"
+        )));
+    }
     let mut content_length: Option<usize> = None;
+    let mut connection_close = false;
+    let mut head_bytes = status_line.len();
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "backend closed mid-headers",
             ));
         }
-        let trimmed = line.trim();
+        head_bytes += n;
+        if head_bytes > MAX_RESPONSE_HEAD_BYTES {
+            return Err(invalid_data("backend response head too large".to_string()));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             break;
         }
-        if let Some(v) = trimmed.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = Some(v.trim().parse().map_err(|_| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad backend content-length")
-            })?);
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(invalid_data(format!(
+                "malformed backend header line {trimmed:?}"
+            )));
+        };
+        let value = value.trim();
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let length: usize = value.parse().map_err(|_| {
+                invalid_data(format!("bad backend content-length {value:?}"))
+            })?;
+            if let Some(previous) = content_length.replace(length) {
+                return Err(invalid_data(format!(
+                    "duplicate backend content-length headers ({previous} then {length})"
+                )));
+            }
+        } else if name.trim().eq_ignore_ascii_case("connection")
+            && value
+                .split(',')
+                .any(|token| token.trim().eq_ignore_ascii_case("close"))
+        {
+            connection_close = true;
         }
     }
     let body = match content_length {
-        Some(len) => {
-            let mut buf = vec![0u8; len];
+        Some(length) => {
+            let mut buf = vec![0u8; length];
             reader.read_exact(&mut buf)?;
             buf
         }
-        None => {
+        None if connection_close => {
             let mut buf = Vec::new();
             reader.read_to_end(&mut buf)?;
             buf
+        }
+        None => {
+            return Err(invalid_data(
+                "backend response has no content-length and did not say connection: close"
+                    .to_string(),
+            ));
         }
     };
     let body = String::from_utf8(body).map_err(|_| {
         std::io::Error::new(std::io::ErrorKind::InvalidData, "backend body is not UTF-8")
     })?;
-    Ok((status, body))
+    let reusable = content_length.is_some() && !connection_close && reader.buffer().is_empty();
+    Ok(BackendResponse {
+        status,
+        body,
+        reusable,
+    })
+}
+
+/// Writes one proxied request and reads its strictly-framed response on
+/// `conn`. `close` mode adds `Connection: close` (the PR 7 wire shape,
+/// used when pooling is disabled); otherwise HTTP/1.1 keep-alive is
+/// implied and the connection can go back to the pool.
+fn exchange(
+    conn: &mut BackendConn,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    request_id: &str,
+    close: bool,
+) -> std::io::Result<BackendResponse> {
+    let connection_header = if close { "Connection: close\r\n" } else { "" };
+    conn.writer.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: snc-router\r\nx-snc-request-id: {request_id}\r\nContent-Length: {}\r\n{connection_header}\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    conn.writer.write_all(body)?;
+    conn.writer.flush()?;
+    read_backend_response(&mut conn.reader)
+}
+
+/// One forwarded HTTP round-trip to backend `backend`, through the
+/// keep-alive pool. The full response is buffered before returning — so
+/// a retry can never interleave with bytes already relayed to the
+/// client — and the edge's request id rides along in
+/// `x-snc-request-id` on every attempt.
+///
+/// Stale-connection rule: a transport error on a **reused** pooled
+/// connection (the backend reaped or reset it while parked) is retried
+/// exactly once on a **fresh** connection to the same backend, counted
+/// in `stale_retries` — it reaches neither the health machine nor
+/// failover. `InvalidData` (a malformed response) is *not* staleness
+/// and propagates immediately; errors on a fresh connection are real
+/// evidence and propagate too.
+fn forward_once(
+    pool: &ConnectionPool,
+    backend: usize,
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    request_id: &str,
+) -> std::io::Result<(u16, String)> {
+    let close = !pool.enabled();
+    let mut conn = pool.checkout(backend, addr)?;
+    let first_was_reused = conn.reused;
+    let response = match exchange(&mut conn, method, path, body, request_id, close) {
+        Ok(response) => response,
+        Err(e) if first_was_reused && e.kind() != std::io::ErrorKind::InvalidData => {
+            drop(conn); // retire the stale socket before dialing anew
+            pool.note_stale_retry();
+            conn = pool.connect_fresh(addr)?;
+            exchange(&mut conn, method, path, body, request_id, close)?
+        }
+        Err(e) => return Err(e),
+    };
+    if response.reusable && !close {
+        pool.checkin(backend, conn);
+    }
+    Ok((response.status, response.body))
 }
 
 /// Parses a solve-bearing body, shards it by canonical fingerprint, and
@@ -586,12 +750,13 @@ fn proxy_keyed(
     }
     let budget = candidates.len().min(shared.cfg.retries + 1);
     let mut last_5xx: Option<(u16, String, usize)> = None;
+    let mut last_err: Option<std::io::Error> = None;
     for (attempt, &backend) in candidates.iter().take(budget).enumerate() {
         if attempt > 0 {
             shared.health.retried.fetch_add(1, Ordering::Relaxed);
         }
         let addr = shared.cfg.backends[backend].addr;
-        match forward_once(addr, "POST", path, body, request_id, shared) {
+        match forward_once(&shared.pool, backend, addr, "POST", path, body, request_id) {
             Ok((status, reply)) if status < 500 => {
                 shared.health.observe_success(backend, false);
                 shared.health.count_routed(backend);
@@ -601,7 +766,14 @@ fn proxy_keyed(
                 shared.health.observe_success(backend, false);
                 last_5xx = Some((status, reply, backend));
             }
-            Err(_) => shared.health.observe_failure(backend, false),
+            Err(e) => {
+                // A demotion strands any sockets parked for the victim;
+                // drain them so re-admission starts from fresh connects.
+                if shared.health.observe_failure(backend, false) {
+                    shared.pool.drain(backend);
+                }
+                last_err = Some(e);
+            }
         }
     }
     // Out of budget: relay the last backend-authored 5xx if any (it is
@@ -611,9 +783,10 @@ fn proxy_keyed(
         return Ok((status, reply, backend, family));
     }
     shared.health.failed.fetch_add(1, Ordering::Relaxed);
+    let detail = last_err.map_or_else(String::new, |e| format!(" (last error: {e})"));
     Err(HttpError::new(
         503,
-        format!("all {budget} candidate backend(s) unreachable, retry later"),
+        format!("all {budget} candidate backend(s) unreachable, retry later{detail}"),
     ))
 }
 
@@ -686,7 +859,8 @@ fn poll_job(
         ));
     }
     let addr = shared.cfg.backends[backend].addr;
-    match forward_once(addr, "GET", &format!("/jobs/{inner}"), b"", request_id, shared) {
+    let path = format!("/jobs/{inner}");
+    match forward_once(&shared.pool, backend, addr, "GET", &path, b"", request_id) {
         Ok((200, reply)) => {
             let doc = json::parse(&reply)
                 .map_err(|_| HttpError::new(500, "backend job record was not JSON"))?;
@@ -712,7 +886,9 @@ fn poll_job(
         )),
         Ok((status, reply)) => Ok((status, reply)),
         Err(_) => {
-            shared.health.observe_failure(backend, false);
+            if shared.health.observe_failure(backend, false) {
+                shared.pool.drain(backend);
+            }
             Err(HttpError::new(
                 503,
                 format!("job {routed_id}'s backend did not answer"),
@@ -724,6 +900,211 @@ fn poll_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serves `raw` bytes to one accepted connection, then closes —
+    /// exactly what a hostile or buggy backend on the wire looks like.
+    fn parse_raw(raw: &[u8]) -> std::io::Result<BackendResponse> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = BufReader::new(stream);
+        let result = read_backend_response(&mut reader);
+        server.join().unwrap();
+        result
+    }
+
+    fn expect_invalid(raw: &[u8], needle: &str) {
+        let e = parse_raw(raw).expect_err("parser accepted malformed response");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "{e}");
+        assert!(
+            e.to_string().contains(needle),
+            "error {e:?} does not mention {needle:?}"
+        );
+    }
+
+    /// Reads one request head (through the blank line) off a fake
+    /// backend's accepted socket. Proxied test requests carry empty
+    /// bodies, so the head is the whole request.
+    fn read_head(stream: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            if stream.read(&mut byte).unwrap() == 0 {
+                break;
+            }
+            buf.push(byte[0]);
+        }
+        String::from_utf8(buf).unwrap()
+    }
+
+    fn test_pool(capacity: usize) -> ConnectionPool {
+        ConnectionPool::new(
+            1,
+            capacity,
+            Duration::from_secs(60),
+            Duration::from_secs(2),
+            Duration::from_secs(2),
+        )
+    }
+
+    const KEEPALIVE_OK: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+
+    #[test]
+    fn duplicate_content_length_is_rejected_even_when_it_agrees() {
+        expect_invalid(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok",
+            "duplicate backend content-length",
+        );
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        expect_invalid(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nok!",
+            "(2 then 3)",
+        );
+    }
+
+    #[test]
+    fn missing_content_length_requires_explicit_connection_close() {
+        // With `Connection: close` the body is close-delimited: legal.
+        let ok = parse_raw(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nhello").unwrap();
+        assert_eq!((ok.status, ok.body.as_str(), ok.reusable), (200, "hello", false));
+        // Without it there is no sound framing — reject, never guess.
+        expect_invalid(
+            b"HTTP/1.1 200 OK\r\n\r\nhello",
+            "no content-length",
+        );
+    }
+
+    #[test]
+    fn status_line_must_be_http11_with_a_code_in_range() {
+        expect_invalid(b"HTTP/1.0 200 OK\r\nContent-Length: 0\r\n\r\n", "not HTTP/1.1");
+        expect_invalid(
+            b"HTTP/1.1 abc ok\r\nContent-Length: 0\r\n\r\n",
+            "\"HTTP/1.1 abc ok\"",
+        );
+        expect_invalid(b"HTTP/1.1 99 low\r\nContent-Length: 0\r\n\r\n", "malformed");
+        expect_invalid(b"HTTP/1.1 2000\r\nContent-Length: 0\r\n\r\n", "malformed");
+        expect_invalid(
+            b"HTTP/1.1 700 nope\r\nContent-Length: 0\r\n\r\n",
+            "status code 700 out of range",
+        );
+        expect_invalid(b"garbage\r\nContent-Length: 0\r\n\r\n", "\"garbage\"");
+        // Boundary codes parse; a bare code with no reason phrase too.
+        let r = parse_raw(b"HTTP/1.1 599 oops\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert_eq!(r.status, 599);
+        let r = parse_raw(b"HTTP/1.1 100\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert_eq!(r.status, 100);
+    }
+
+    #[test]
+    fn header_line_without_a_colon_is_rejected() {
+        expect_invalid(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nbogus header line\r\n\r\nok",
+            "\"bogus header line\"",
+        );
+    }
+
+    #[test]
+    fn reusable_only_with_explicit_length_and_no_close() {
+        let r = parse_raw(KEEPALIVE_OK).unwrap();
+        assert!(r.reusable, "length-framed keep-alive response is poolable");
+        let r = parse_raw(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok")
+            .unwrap();
+        assert!(!r.reusable, "backend-requested close retires the socket");
+    }
+
+    #[test]
+    fn stale_reused_connection_retries_once_on_a_fresh_one() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Connection 1: answer keep-alive, then close while parked —
+            // the idle-reap shape.
+            let (mut s, _) = listener.accept().unwrap();
+            let head = read_head(&mut s);
+            assert!(
+                !head.to_ascii_lowercase().contains("connection:"),
+                "pooled request must not ask for close: {head:?}"
+            );
+            s.write_all(KEEPALIVE_OK).unwrap();
+            drop(s);
+            // Connection 2: the fresh retry lands here.
+            let (mut s, _) = listener.accept().unwrap();
+            read_head(&mut s);
+            s.write_all(KEEPALIVE_OK).unwrap();
+        });
+        let pool = test_pool(4);
+        let (status, body) = forward_once(&pool, 0, addr, "GET", "/x", b"", "rid-1").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok"));
+        // Give the backend's FIN time to land so the reuse is stale.
+        std::thread::sleep(Duration::from_millis(50));
+        let (status, body) = forward_once(&pool, 0, addr, "GET", "/x", b"", "rid-2").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok"), "retry is invisible");
+        server.join().unwrap();
+        let snap = pool.snapshot();
+        assert_eq!(snap.stale_retries, 1, "exactly one stale retry");
+        assert_eq!(snap.reused, 1, "the stale checkout still counts as a reuse");
+        assert_eq!(snap.created, 2, "original + fresh retry connection");
+    }
+
+    #[test]
+    fn invalid_data_on_a_reused_connection_does_not_retry() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_head(&mut s);
+            s.write_all(KEEPALIVE_OK).unwrap();
+            // Second request arrives on the same (reused) connection;
+            // answer with a malformed head. No second accept: a retry
+            // would hang the test instead of passing it.
+            read_head(&mut s);
+            s.write_all(b"HTTP/1.1 banana\r\nContent-Length: 0\r\n\r\n").unwrap();
+        });
+        let pool = test_pool(4);
+        forward_once(&pool, 0, addr, "GET", "/x", b"", "rid-1").unwrap();
+        let e = forward_once(&pool, 0, addr, "GET", "/x", b"", "rid-2")
+            .expect_err("malformed response must propagate");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        server.join().unwrap();
+        assert_eq!(pool.snapshot().stale_retries, 0, "InvalidData is not staleness");
+    }
+
+    #[test]
+    fn disabled_pool_sends_connection_close_and_never_parks() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let head = read_head(&mut s);
+                assert!(
+                    head.contains("Connection: close\r\n"),
+                    "disabled pool must keep the PR 7 wire shape: {head:?}"
+                );
+                // Close-delimited response: the PR 7 backend shape.
+                s.write_all(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nok").unwrap();
+            }
+        });
+        let pool = test_pool(0);
+        for rid in ["rid-1", "rid-2"] {
+            let (status, body) = forward_once(&pool, 0, addr, "GET", "/x", b"", rid).unwrap();
+            assert_eq!((status, body.as_str()), (200, "ok"));
+        }
+        server.join().unwrap();
+        let snap = pool.snapshot();
+        assert_eq!(snap.idle, 0, "disabled pool never parks");
+        assert_eq!(snap.reused, 0);
+        assert_eq!((snap.created, snap.retired), (2, 2));
+    }
 
     #[test]
     fn job_id_round_trips_through_the_router_keyspace() {

@@ -5,7 +5,7 @@
 //!            [--queue-depth N] [--store-capacity N]
 //!            [--sdp-cache-entries N] [--response-cache-bytes N]
 //!            [--max-connections N] [--idle-timeout-ms N]
-//!            [--access-log PATH]
+//!            [--access-log PATH] [--access-log-max-bytes N]
 //! ```
 //!
 //! `--threads`, `--replicas`, `--queue-depth`, `--store-capacity`,
@@ -20,6 +20,9 @@
 //! actual address is printed on startup. `--access-log PATH` appends
 //! one structured line per routed request (request id, route, family,
 //! cache outcome, status, elapsed µs) to PATH; omitted means no log.
+//! `--access-log-max-bytes N` rotates the log (rename to `PATH.1`,
+//! reopen) whenever it would grow past N bytes; 0 (the default)
+//! disables rotation.
 
 use snc_experiments::config::parse_positive;
 use snc_server::{serve, ServerConfig};
@@ -63,12 +66,16 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--access-log" => {
                 cfg.access_log = Some(it.next().ok_or("--access-log needs a PATH value")?.clone());
             }
+            "--access-log-max-bytes" => {
+                cfg.access_log_max_bytes = parse_size(it.next(), "--access-log-max-bytes")? as u64;
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}`\nusage: snc-server [--addr HOST:PORT] [--threads N] \
                      [--replicas N] [--queue-depth N] [--store-capacity N] \
                      [--sdp-cache-entries N] [--response-cache-bytes N] \
-                     [--max-connections N] [--idle-timeout-ms N] [--access-log PATH]"
+                     [--max-connections N] [--idle-timeout-ms N] [--access-log PATH] \
+                     [--access-log-max-bytes N]"
                 ));
             }
         }
@@ -155,9 +162,17 @@ mod tests {
     fn access_log_flag_parses() {
         let cfg = parse_args(&[]).unwrap();
         assert_eq!(cfg.access_log, None);
+        assert_eq!(cfg.access_log_max_bytes, 0, "rotation defaults off");
         let cfg = parse_args(&strs(&["--access-log", "/tmp/snc-access.log"])).unwrap();
         assert_eq!(cfg.access_log.as_deref(), Some("/tmp/snc-access.log"));
         assert!(parse_args(&strs(&["--access-log"])).is_err());
+        let cfg = parse_args(&strs(&[
+            "--access-log", "/tmp/snc-access.log", "--access-log-max-bytes", "65536",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.access_log_max_bytes, 65536);
+        assert!(parse_args(&strs(&["--access-log-max-bytes", "x"])).is_err());
+        assert!(parse_args(&strs(&["--access-log-max-bytes"])).is_err());
     }
 
     #[test]

@@ -120,6 +120,9 @@ pub struct ServerConfig {
     /// When set, append one structured line per served request
     /// (`id route family outcome status µs`) to this file.
     pub access_log: Option<String>,
+    /// Rotate the access log (rename to `<path>.1`, reopen) whenever it
+    /// would grow past this many bytes. 0 disables rotation.
+    pub access_log_max_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +145,7 @@ impl Default for ServerConfig {
             send_buffer_bytes: 0,
             backend: sys::Backend::Auto,
             access_log: None,
+            access_log_max_bytes: 0,
         }
     }
 }
@@ -259,7 +263,7 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let poller = sys::Poller::new(cfg.backend)?;
     let mailbox = Arc::new(Mailbox::new()?);
     let access_log = match &cfg.access_log {
-        Some(path) => Some(AccessLog::open(path)?),
+        Some(path) => Some(AccessLog::open_rotating(path, cfg.access_log_max_bytes)?),
         None => None,
     };
     let shared = Arc::new(Shared {

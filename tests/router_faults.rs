@@ -50,14 +50,40 @@ fn spawn_router_args(backend_addrs: &[SocketAddr], extra: &[&str]) -> SpawnedPro
     spawn_listening("snc-router", &args)
 }
 
-/// Router `/healthz` parsed: (status, per-backend up, per-backend
-/// routed, retried, failed).
+/// The router's fleet-wide pool accounting as `/healthz` reports it.
+#[derive(Clone, Copy, Debug)]
+struct PoolStats {
+    idle: u64,
+    created: u64,
+    reused: u64,
+    retired: u64,
+    stale_retries: u64,
+}
+
+impl PoolStats {
+    /// The pool's conservation invariant: every connection ever created
+    /// is either still parked or has been retired — nothing leaks. Holds
+    /// whenever no forward is in flight.
+    fn assert_conserved(&self) {
+        assert_eq!(
+            self.created,
+            self.retired + self.idle,
+            "pool leaked a connection: {self:?}"
+        );
+    }
+}
+
+/// Router `/healthz` parsed: status, per-backend up/routed/errors/idle,
+/// the global retried/failed tallies, and the pool block.
 struct RouterHealth {
     status: String,
     up: Vec<bool>,
     routed: Vec<u64>,
+    errors: Vec<u64>,
+    pool_idle: Vec<u64>,
     retried: u64,
     failed: u64,
+    pool: PoolStats,
 }
 
 fn router_health(router: SocketAddr) -> RouterHealth {
@@ -67,6 +93,8 @@ fn router_health(router: SocketAddr) -> RouterHealth {
     let Some(Json::Arr(entries)) = doc.get("backends") else {
         panic!("no backends array in {body}");
     };
+    let pool = doc.get("pool").expect("healthz has a pool block");
+    let pool_field = |name: &str| pool.get(name).and_then(Json::as_u64).expect(name);
     RouterHealth {
         status: match doc.get("status") {
             Some(Json::Str(s)) => s.clone(),
@@ -80,8 +108,23 @@ fn router_health(router: SocketAddr) -> RouterHealth {
             .iter()
             .map(|e| e.get("routed").and_then(Json::as_u64).expect("routed"))
             .collect(),
+        errors: entries
+            .iter()
+            .map(|e| e.get("errors").and_then(Json::as_u64).expect("errors"))
+            .collect(),
+        pool_idle: entries
+            .iter()
+            .map(|e| e.get("pool_idle").and_then(Json::as_u64).expect("pool_idle"))
+            .collect(),
         retried: doc.get("retried").and_then(Json::as_u64).expect("retried"),
         failed: doc.get("failed").and_then(Json::as_u64).expect("failed"),
+        pool: PoolStats {
+            idle: pool_field("idle"),
+            created: pool_field("created"),
+            reused: pool_field("reused"),
+            retired: pool_field("retired"),
+            stale_retries: pool_field("stale_retries"),
+        },
     }
 }
 
@@ -480,4 +523,180 @@ fn edge_validates_and_mirrors_backend_status_codes() {
     // against a never-listening port so the helper itself is covered.
     let dead = reserve_port();
     assert!(try_roundtrip(dead, "GET", "/healthz", "").is_err());
+}
+
+/// The stale-connection rule end-to-end against a *real* backend idle
+/// reaper: the backend closes a parked pooled connection, and the next
+/// request rides the one-fresh-retry path — invisibly. No client error,
+/// no health-machine observation, no failover; only `stale_retries`
+/// moves. Pool gauge accounting is asserted exactly throughout.
+#[test]
+fn pool_survives_backend_idle_reap_via_stale_retry() {
+    // Backend reaps idle connections aggressively; the router parks for
+    // much longer, so the backend always wins the race.
+    let backend = spawn_server(&["--threads", "2", "--idle-timeout-ms", "400"]);
+    let router = spawn_router_args(
+        &[backend.addr()],
+        &[
+            "--probe-interval-ms", "200",
+            "--probe-timeout-ms", "500",
+            "--down-after", "2",
+            "--up-after", "2",
+            "--pool-idle-timeout-ms", "60000",
+        ],
+    );
+    let request = &corpus()[0];
+
+    // Three sequential requests share one pooled connection.
+    let (status, want) = roundtrip(router.addr(), "POST", "/solve", request);
+    assert_eq!(status, 200, "{want}");
+    for _ in 0..2 {
+        let (status, body) = roundtrip(router.addr(), "POST", "/solve", request);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, want);
+    }
+    let warm = router_health(router.addr());
+    assert_eq!(warm.pool.created, 1, "one backend connection serves all three");
+    assert_eq!(warm.pool.reused, 2);
+    assert_eq!(warm.pool.idle, 1);
+    assert_eq!(warm.pool_idle, vec![1]);
+    assert_eq!(warm.pool.retired, 0);
+    assert_eq!(warm.pool.stale_retries, 0);
+    warm.pool.assert_conserved();
+
+    // Let the backend's reaper close the parked connection (plain FIN —
+    // the connection is between requests, so no 408 is sent).
+    std::thread::sleep(Duration::from_millis(1200));
+
+    // The next request reuses the dead socket, hits a transport error,
+    // and retries once on a fresh connection — same backend, same bytes.
+    let (status, body) = roundtrip(router.addr(), "POST", "/solve", request);
+    assert_eq!(status, 200, "stale retry must be invisible to the client");
+    assert_eq!(body, want, "stale retry changed bytes");
+    let after = router_health(router.addr());
+    assert_eq!(after.pool.stale_retries, 1, "exactly one stale retry fired");
+    assert_eq!(after.failed, 0);
+    assert_eq!(after.retried, warm.retried, "stale retry is not a failover retry");
+    assert_eq!(after.errors, vec![0], "stale retry must not feed the health machine");
+    assert!(after.up[0], "backend must stay up");
+    assert_eq!(after.pool.created, 2, "original + the fresh replacement");
+    assert_eq!(after.pool.reused, 3, "the doomed checkout still counts");
+    assert_eq!(after.pool.retired, 1, "the reaped connection is retired");
+    assert_eq!(after.pool.idle, 1, "the replacement is parked again");
+    after.pool.assert_conserved();
+}
+
+/// The PR 7 kill guarantee holds with pooling on: SIGKILL a backend
+/// mid-traffic and every client request still succeeds byte-identically
+/// — parked connections to the corpse are absorbed by stale retries and
+/// failover, and demotion drains its idle stack.
+#[test]
+fn pool_keeps_zero_client_failures_across_sigkill() {
+    let mut backends: Vec<SpawnedProcess> =
+        (0..3).map(|_| spawn_server(&["--threads", "2"])).collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(SpawnedProcess::addr).collect();
+    let router = spawn_router_args(
+        &addrs,
+        &[
+            "--probe-interval-ms", "200",
+            "--probe-timeout-ms", "500",
+            "--down-after", "2",
+            "--up-after", "2",
+            "--retries", "2",
+        ],
+    );
+    let corpus = corpus();
+    let mut expected = Vec::new();
+    for request in &corpus {
+        let (status, body) = roundtrip(router.addr(), "POST", "/solve", request);
+        assert_eq!(status, 200, "{body}");
+        expected.push(body);
+    }
+    let warm = router_health(router.addr());
+    assert!(warm.pool.reused > 0, "warm pass must reuse pooled connections");
+    assert_eq!(warm.pool.stale_retries, 0);
+    warm.pool.assert_conserved();
+    let victim = (0..3).max_by_key(|&i| warm.routed[i]).unwrap();
+    assert!(warm.pool_idle[victim] > 0, "victim must have parked connections");
+
+    backends[victim].kill();
+
+    // Replay: the first victim-keyed request reuses a dead parked
+    // connection (stale retry → fresh connect refused → failover); all
+    // requests still answer 200 with identical bytes.
+    for (request, want) in corpus.iter().zip(&expected) {
+        let (status, body) = roundtrip(router.addr(), "POST", "/solve", request);
+        assert_eq!(status, 200, "client saw a failure after the kill: {body}");
+        assert_eq!(&body, want, "failover changed bytes for {request}");
+    }
+    let after = router_health(router.addr());
+    assert_eq!(after.failed, 0, "pooling must not surface backend death to clients");
+    assert!(
+        after.pool.stale_retries >= 1,
+        "the victim's parked connection must have triggered a stale retry"
+    );
+    assert!(after.retried > warm.retried, "victim-owned keys must have failed over");
+
+    // Demotion (traffic- or probe-driven) drains the victim's stack.
+    wait_for_health(
+        router.addr(),
+        "victim demotion",
+        Duration::from_secs(10),
+        |h| !h.up[victim],
+    );
+    let settled = router_health(router.addr());
+    assert_eq!(
+        settled.pool_idle[victim], 0,
+        "demotion must drain the victim's pooled connections"
+    );
+    settled.pool.assert_conserved();
+
+    // Steady state: surviving backends keep reusing their connections.
+    let before = router_health(router.addr()).pool.reused;
+    for (request, want) in corpus.iter().zip(&expected) {
+        let (status, body) = roundtrip(router.addr(), "POST", "/solve", request);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(&body, want);
+    }
+    let steady = router_health(router.addr());
+    assert!(steady.pool.reused > before, "survivors must keep reusing");
+    assert_eq!(steady.failed, 0);
+    steady.pool.assert_conserved();
+}
+
+/// `--pool-idle-per-backend 0` is the PR 7 escape hatch: every forward
+/// opens a fresh `Connection: close` connection, nothing is ever parked
+/// or reused, and the wire behavior (bytes, counters) is unchanged.
+#[test]
+fn disabling_the_pool_restores_fresh_connection_behavior() {
+    let backend = spawn_server(&["--threads", "2"]);
+    let router = spawn_router_args(
+        &[backend.addr()],
+        &["--probe-interval-ms", "200", "--pool-idle-per-backend", "0"],
+    );
+    let corpus = corpus();
+    let mut expected = Vec::new();
+    for request in &corpus {
+        let (status, body) = roundtrip(router.addr(), "POST", "/solve", request);
+        assert_eq!(status, 200, "{body}");
+        expected.push(body);
+    }
+    // Replay is byte-identical (response-cache warm path).
+    for (request, want) in corpus.iter().zip(&expected) {
+        let (status, body) = roundtrip(router.addr(), "POST", "/solve", request);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(&body, want);
+    }
+    let health = router_health(router.addr());
+    assert_eq!(health.failed, 0);
+    assert_eq!(health.pool.reused, 0, "disabled pool must never reuse");
+    assert_eq!(health.pool.idle, 0, "disabled pool must never park");
+    assert_eq!(health.pool_idle, vec![0]);
+    assert_eq!(health.pool.stale_retries, 0);
+    assert_eq!(
+        health.pool.created,
+        2 * corpus.len() as u64,
+        "exactly one fresh connection per forwarded request"
+    );
+    health.pool.assert_conserved();
 }
